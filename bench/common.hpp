@@ -1,0 +1,71 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared setup for the experiment harnesses: the paper's deployment
+///        (40 Planet-Lab-like nodes, four concurrent writers of one file)
+///        and helpers to print the series/rows each figure/table reports.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "core/cluster.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace idea::bench {
+
+/// The four writers used throughout §6 (spread across the coordinate plane).
+inline const std::vector<NodeId> kWriters{3, 11, 22, 37};
+
+/// Paper-scale cluster: 40 nodes; WAN latencies tuned so that one
+/// sequential resolution hop costs ~100 ms — the per-member cost the
+/// paper's Formula 2 reports (104.7 ms).
+inline core::ClusterConfig paper_cluster(std::uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 40;
+  cfg.seed = seed;
+  cfg.latency.diameter_delay = msec(120);
+  cfg.latency.processing_floor = msec(2);
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{250, 250, 250};
+  cfg.idea.detection_period = sec(1);
+  cfg.idea.resolution.collect_processing = msec(8);
+  cfg.idea.resolution.cpu_per_send = usec(150);
+  return cfg;
+}
+
+/// Issue one write burst from every writer (all conflicting, per §6).
+inline void write_burst(core::IdeaCluster& cluster, int index,
+                        std::uint64_t seed) {
+  auto gen = apps::make_stroke_generator(seed);
+  for (NodeId w : kWriters) {
+    auto [content, meta] = gen(w, index);
+    cluster.node(w).write(std::move(content), meta);
+  }
+}
+
+/// Worst ("view from the user") and mean ("system average") level across
+/// the writers.
+struct LevelSnapshot {
+  double worst = 1.0;
+  double average = 0.0;
+};
+
+inline LevelSnapshot snapshot_levels(core::IdeaCluster& cluster) {
+  LevelSnapshot s;
+  for (NodeId w : kWriters) {
+    const double lv = cluster.node(w).current_level();
+    s.worst = std::min(s.worst, lv);
+    s.average += lv / static_cast<double>(kWriters.size());
+  }
+  return s;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================\n");
+}
+
+}  // namespace idea::bench

@@ -1,0 +1,121 @@
+/// \file micro_benchmarks.cpp
+/// \brief google-benchmark microbenchmarks for the hot primitives:
+///        version-vector algebra, extended-VV triple computation, the
+///        consistency formula, the event queue, and a full simulated
+///        detection round.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.hpp"
+#include "core/formula.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "vv/extended_vv.hpp"
+
+namespace idea {
+namespace {
+
+vv::VersionVector make_vv(std::size_t writers, std::uint64_t seed) {
+  vv::VersionVector v;
+  Rng rng(seed);
+  for (std::size_t w = 0; w < writers; ++w) {
+    v.set(static_cast<NodeId>(w), rng.next_below(100) + 1);
+  }
+  return v;
+}
+
+vv::ExtendedVersionVector make_evv(std::size_t writers,
+                                   std::size_t updates_per_writer,
+                                   std::uint64_t seed) {
+  vv::ExtendedVersionVector e;
+  Rng rng(seed);
+  for (std::size_t w = 0; w < writers; ++w) {
+    SimTime t = 0;
+    for (std::size_t u = 0; u < updates_per_writer; ++u) {
+      t += static_cast<SimTime>(rng.next_below(1'000'000));
+      e.record_update(static_cast<NodeId>(w), t, rng.uniform01() * 100);
+    }
+  }
+  return e;
+}
+
+void BM_VersionVectorCompare(benchmark::State& state) {
+  const auto writers = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vv(writers, 1);
+  const auto b = make_vv(writers, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vv::VersionVector::compare(a, b));
+  }
+}
+BENCHMARK(BM_VersionVectorCompare)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VersionVectorMerge(benchmark::State& state) {
+  const auto writers = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vv(writers, 1);
+  const auto b = make_vv(writers, 2);
+  for (auto _ : state) {
+    auto m = a;
+    m.merge(b);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_VersionVectorMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExtendedVvTriple(benchmark::State& state) {
+  const auto updates = static_cast<std::size_t>(state.range(0));
+  const auto a = make_evv(4, updates, 3);
+  const auto b = make_evv(4, updates, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.triple_against(b));
+  }
+}
+BENCHMARK(BM_ExtendedVvTriple)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ConsistencyFormula(benchmark::State& state) {
+  const vv::TactTriple t{3.2, 1.5, 7.9};
+  const vv::TripleWeights w{0.4, 0.3, 0.3};
+  const vv::TripleMaxima m{10, 10, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::consistency_level(t, w, m));
+  }
+}
+BENCHMARK(BM_ConsistencyFormula);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng(7);
+    for (int i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<SimTime>(rng.next_below(1'000'000)),
+                      [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1024)->Arg(16384);
+
+void BM_DetectionRound(benchmark::State& state) {
+  // Full simulated top-layer detection round on a warm 40-node cluster.
+  core::ClusterConfig cfg;
+  cfg.nodes = 40;
+  cfg.sync_sizes();
+  core::IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({3, 11, 22, 37}, sec(25));
+  for (auto _ : state) {
+    bool done = false;
+    cluster.node(3).probe(
+        [&done](const detect::DetectionResult&) { done = true; });
+    while (!done) cluster.sim().step();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_DetectionRound);
+
+}  // namespace
+}  // namespace idea
+
+BENCHMARK_MAIN();

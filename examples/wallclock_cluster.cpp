@@ -1,0 +1,81 @@
+/// \file wallclock_cluster.cpp
+/// \brief The same middleware running in real time on the threaded
+///        transport instead of the simulator.
+///
+/// Protocol code is written against net::Transport, so the exact IdeaNode
+/// stack that the experiments run deterministically in the simulator also
+/// runs here under a wall-clock event loop (time_scale compresses the WAN
+/// latencies so the demo finishes in a few seconds of real time).
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/idea_node.hpp"
+#include "net/thread_transport.hpp"
+#include "sim/latency.hpp"
+
+using namespace idea;
+using namespace idea::core;
+
+int main() {
+  constexpr std::uint32_t kNodes = 6;
+  sim::PlanetLabParams lat;
+  lat.nodes = kNodes;
+  sim::PlanetLabLatency latency(lat);
+
+  net::ThreadTransportOptions topt;
+  topt.time_scale = 0.02;  // 50x faster than the virtual timeline
+  net::ThreadTransport transport(latency, topt);
+
+  IdeaConfig node_cfg;
+  node_cfg.ransub.nodes = kNodes;
+  node_cfg.gossip.nodes = kNodes;
+  node_cfg.two_layer.all_nodes = kNodes;
+  node_cfg.maxima = vv::TripleMaxima{20, 20, 20};
+  node_cfg.controller.mode = AdaptiveMode::kHintBased;
+  node_cfg.controller.hint = 0.90;
+
+  std::vector<std::unique_ptr<IdeaNode>> nodes;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    nodes.push_back(
+        std::make_unique<IdeaNode>(n, /*file=*/1, transport, node_cfg,
+                                   mix64(0xFEED + n)));
+  }
+  for (auto& node : nodes) node->start();
+
+  auto sleep_virtual = [&](SimDuration d) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(static_cast<double>(d) *
+                                  topt.time_scale)));
+  };
+
+  std::printf("warming up the overlay (virtual ~20 s)...\n");
+  nodes[1]->write("writer-1 hello", 1.0);
+  nodes[4]->write("writer-4 hello", 2.0);
+  sleep_virtual(sec(20));
+
+  std::printf("top layer at node 1:");
+  for (NodeId n : nodes[1]->top_layer()) {
+    std::printf(" %s", node_name(n).c_str());
+  }
+  std::printf("\n");
+
+  std::printf("issuing conflicting writes...\n");
+  nodes[1]->write("conflict from 1", 3.0);
+  nodes[4]->write("conflict from 4", 4.0);
+  sleep_virtual(sec(6));
+  std::printf("levels: node1=%.3f node4=%.3f (hint 0.90 resolves "
+              "automatically)\n",
+              nodes[1]->current_level(), nodes[4]->current_level());
+
+  sleep_virtual(sec(10));
+  const bool converged = nodes[1]->store().content_digest() ==
+                         nodes[4]->store().content_digest();
+  std::printf("replicas converged under real concurrency: %s\n",
+              converged ? "yes" : "no");
+  std::printf("messages exchanged: %llu\n",
+              static_cast<unsigned long long>(
+                  transport.counters().total_messages()));
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "apps/booking.hpp"
+
+#include <algorithm>
+
+namespace idea::apps {
+
+BookingSystem::BookingSystem(core::IdeaCluster& cluster,
+                             std::vector<NodeId> servers,
+                             BookingParams params, std::uint64_t seed)
+    : cluster_(cluster), servers_(std::move(servers)), params_(params),
+      rng_(seed) {}
+
+bool BookingSystem::try_book(NodeId server) {
+  const std::int64_t viewed_remaining = seats_remaining_view(server);
+  const std::uint64_t truly_sold = global_live_bookings();
+  const bool seats_truly_available = truly_sold < params_.capacity;
+
+  if (viewed_remaining <= 0) {
+    ++sold_out_;
+    // The view says full; if seats actually remain, this is underselling.
+    if (seats_truly_available) ++undersold_;
+    return false;
+  }
+  const double price = rng_.uniform(params_.price_min, params_.price_max);
+  char content[64];
+  std::snprintf(content, sizeof(content), "seat@%.2f", price);
+  if (!cluster_.node(server).write(content, price)) {
+    // Blocked by an in-flight resolution: the §5.2 "system is kind of
+    // locked" window.  The customer walks away.
+    ++blocked_;
+    if (seats_truly_available) ++undersold_;
+    return false;
+  }
+  ++sold_;
+  return true;
+}
+
+std::int64_t BookingSystem::seats_remaining_view(NodeId server) const {
+  return static_cast<std::int64_t>(params_.capacity) -
+         static_cast<std::int64_t>(live_bookings(server));
+}
+
+std::uint64_t BookingSystem::live_bookings(NodeId server) const {
+  std::uint64_t n = 0;
+  for (const auto& u : cluster_.node(server).store().ordered_contents()) {
+    if (!u.invalidated) ++n;
+  }
+  return n;
+}
+
+std::uint64_t BookingSystem::global_live_bookings() const {
+  // Union of all servers' live histories — what a perfectly consistent
+  // system would know.  Count distinct update keys across replicas.
+  std::uint64_t best = 0;
+  // Each booking is written exactly once, so the union size equals the sum
+  // of per-writer maxima of sequence counts.
+  std::map<NodeId, std::uint64_t> per_writer;
+  for (NodeId s : servers_) {
+    const vv::VersionVector counts = cluster_.node(s).store().evv().counts();
+    for (const auto& [w, c] : counts.entries()) {
+      auto& slot = per_writer[w];
+      slot = std::max(slot, c);
+    }
+  }
+  for (const auto& [w, c] : per_writer) best += c;
+  return best;
+}
+
+std::int64_t BookingSystem::oversell_amount() const {
+  return std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(global_live_bookings()) -
+             static_cast<std::int64_t>(params_.capacity));
+}
+
+double BookingSystem::revenue_view(NodeId server) const {
+  return cluster_.node(server).store().meta_value();
+}
+
+void BookingSystem::audit(NodeId controller_node) {
+  auto& controller = cluster_.node(controller_node).controller();
+  const std::int64_t oversell = oversell_amount();
+  if (oversell > last_audited_oversell_) {
+    controller.notify_oversell();
+  }
+  if (undersold_ > last_audited_undersell_) {
+    controller.notify_undersell();
+  }
+  last_audited_oversell_ = oversell;
+  last_audited_undersell_ = undersold_;
+}
+
+}  // namespace idea::apps

@@ -1,0 +1,71 @@
+#include "apps/whiteboard.hpp"
+
+#include <algorithm>
+
+namespace idea::apps {
+
+WhiteboardApp::WhiteboardApp(core::IdeaCluster& cluster,
+                             std::vector<NodeId> participants)
+    : cluster_(cluster), participants_(std::move(participants)) {}
+
+double WhiteboardApp::stroke_meta(const std::string& text) {
+  double ascii_sum = 0;
+  for (char c : text) ascii_sum += static_cast<unsigned char>(c);
+  return ascii_sum / 100.0;
+}
+
+bool WhiteboardApp::post(NodeId user, const std::string& text) {
+  return cluster_.node(user).write(text, stroke_meta(text));
+}
+
+std::vector<std::string> WhiteboardApp::view(NodeId user) const {
+  std::vector<std::string> out;
+  for (const auto& u : cluster_.node(user).store().ordered_contents()) {
+    if (!u.invalidated) out.push_back(u.content);
+  }
+  return out;
+}
+
+double WhiteboardApp::level(NodeId user) const {
+  return cluster_.node(user).current_level();
+}
+
+void WhiteboardApp::attach_user(UserModel user) {
+  users_.push_back(user);
+  const std::size_t idx = users_.size() - 1;
+  cluster_.node(user.node).set_level_listener(
+      [this, idx](const core::LevelSample& sample) {
+        UserModel& u = users_[idx];
+        if (sample.level < u.real_tolerance) {
+          ++u.times_annoyed;
+          if (u.complains) {
+            ++u.times_complained;
+            cluster_.node(u.node).user_unsatisfied();
+          }
+        }
+      });
+}
+
+void WhiteboardApp::sample_levels(SimTime now) {
+  double worst = 1.0;
+  double sum = 0.0;
+  for (NodeId p : participants_) {
+    const double lv = level(p);
+    worst = std::min(worst, lv);
+    sum += lv;
+  }
+  const double t = to_sec(now);
+  worst_.add(t, worst);
+  average_.add(t, sum / static_cast<double>(participants_.size()));
+}
+
+bool WhiteboardApp::boards_match() const {
+  if (participants_.empty()) return true;
+  const auto first = view(participants_.front());
+  for (NodeId p : participants_) {
+    if (view(p) != first) return false;
+  }
+  return true;
+}
+
+}  // namespace idea::apps

@@ -1,0 +1,48 @@
+#include "core/cluster.hpp"
+
+namespace idea::core {
+
+IdeaCluster::IdeaCluster(ClusterConfig config) : config_(std::move(config)) {
+  config_.sync_sizes();
+  sim::PlanetLabParams lat = config_.latency;
+  lat.nodes = config_.nodes;
+  lat.placement_seed = mix64(config_.seed ^ 0x9A7E11ULL);
+  latency_ = std::make_unique<sim::PlanetLabLatency>(lat);
+
+  net::SimTransportOptions topt = config_.transport;
+  topt.node_count = config_.nodes;
+  topt.seed = mix64(config_.seed ^ 0x7245ULL);
+  transport_ = std::make_unique<net::SimTransport>(sim_, *latency_, topt);
+
+  nodes_.reserve(config_.nodes);
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    IdeaConfig node_cfg = config_.idea;
+    node_cfg.resolution.policy.deployment_seed = config_.seed;
+    nodes_.push_back(std::make_unique<IdeaNode>(
+        n, config_.file, *transport_, node_cfg,
+        mix64(config_.seed ^ (0xBEEFULL + n))));
+  }
+}
+
+void IdeaCluster::start() {
+  for (auto& node : nodes_) node->start();
+}
+
+void IdeaCluster::warm_up(const std::vector<NodeId>& writers,
+                          SimDuration duration) {
+  for (NodeId w : writers) {
+    node(w).write("warmup", 0.0);
+  }
+  run_for(duration);
+}
+
+bool IdeaCluster::converged(const std::vector<NodeId>& group) const {
+  if (group.empty()) return true;
+  const std::uint64_t digest = node(group.front()).store().content_digest();
+  for (NodeId n : group) {
+    if (node(n).store().content_digest() != digest) return false;
+  }
+  return true;
+}
+
+}  // namespace idea::core

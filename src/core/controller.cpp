@@ -1,0 +1,86 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace idea::core {
+
+AdaptiveController::AdaptiveController(
+    ControllerConfig config, std::function<void()> demand_resolution,
+    std::function<void(SimDuration)> set_background_period)
+    : config_(config), demand_resolution_(std::move(demand_resolution)),
+      set_background_period_(std::move(set_background_period)),
+      hint_(config.hint), bandwidth_(config.available_bandwidth),
+      learned_min_hz_(config.min_freq_hz),
+      learned_max_hz_(config.max_freq_hz) {}
+
+void AdaptiveController::observe_level(double level, SimTime now,
+                                       bool conflict) {
+  if (config_.mode != AdaptiveMode::kHintBased) return;
+  if (hint_ <= 0.0) return;
+  if (level < hint_ || (conflict && hint_ >= 1.0)) demand(now);
+}
+
+void AdaptiveController::user_unsatisfied(SimTime now) {
+  // Learn: keep the consistency above L1 + delta from now on (§2).
+  hint_ = std::min(1.0, hint_ + config_.hint_delta);
+  IDEA_LOG(kInfo) << "user unsatisfied; learned new acceptable level "
+                  << hint_;
+  demand(now);
+}
+
+void AdaptiveController::set_hint(double hint) {
+  hint_ = std::clamp(hint, 0.0, 1.0);
+}
+
+void AdaptiveController::demand(SimTime now) {
+  if (now - last_demand_ < config_.demand_cooldown) return;
+  last_demand_ = now;
+  ++demands_;
+  demand_resolution_();
+}
+
+void AdaptiveController::observe_round_cost(double bytes) {
+  round_cost_.add(bytes);
+}
+
+void AdaptiveController::observe_bandwidth(double bytes_per_sec) {
+  bandwidth_ = bytes_per_sec;
+}
+
+void AdaptiveController::notify_oversell() {
+  // Frequency was too low: consistency lagged and seats were double-sold.
+  learned_min_hz_ =
+      std::min(std::max(learned_min_hz_, freq_hz_ * config_.bound_step),
+               config_.max_freq_hz);
+}
+
+void AdaptiveController::notify_undersell() {
+  // Frequency was too high: resolution blocking cost us sales.
+  learned_max_hz_ =
+      std::max(std::min(learned_max_hz_, freq_hz_ / config_.bound_step),
+               config_.min_freq_hz);
+}
+
+double AdaptiveController::adjust_frequency() {
+  // Formula 4: optimal_rate = b * x% / c.
+  double target = freq_hz_;
+  if (round_cost_.primed() && round_cost_.value() > 0.0) {
+    target = bandwidth_ * config_.bandwidth_cap_fraction /
+             round_cost_.value();
+  }
+  // Learned business bounds may have crossed; the lower bound (oversell
+  // protection) wins, as overselling has the direct monetary cost (§5.2).
+  const double lo = learned_min_hz_;
+  const double hi = std::max(learned_min_hz_, learned_max_hz_);
+  target = std::clamp(target, lo, hi);
+  target = std::clamp(target, config_.min_freq_hz, config_.max_freq_hz);
+  freq_hz_ = target;
+  if (set_background_period_) {
+    set_background_period_(sec_f(1.0 / freq_hz_));
+  }
+  return freq_hz_;
+}
+
+}  // namespace idea::core

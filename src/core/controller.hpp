@@ -1,0 +1,122 @@
+#pragma once
+/// \file controller.hpp
+/// \brief Adaptive consistency control (§4.6, §5): the three application
+///        modes and the learning rules that make IDEA adaptive.
+///
+///  * on-demand       — the user reacts to displayed levels; when
+///                      unsatisfied, IDEA resolves *and learns* the newly
+///                      acceptable level (L1 + delta) so the user is not
+///                      annoyed again;
+///  * hint-based      — resolve whenever the level drops below the standing
+///                      hint; hints can be re-set at runtime (Figure 8);
+///  * fully-automatic — no user in the loop; the background-resolution
+///                      frequency follows Formula 4 (bandwidth cap divided
+///                      by per-round cost) clamped inside frequency bounds
+///                      learned from overselling/underselling feedback.
+
+#include <functional>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace idea::core {
+
+enum class AdaptiveMode { kOnDemand = 0, kHintBased = 1, kFullyAutomatic = 2 };
+
+struct ControllerConfig {
+  AdaptiveMode mode = AdaptiveMode::kOnDemand;
+  /// Initial hint L1 in [0,1]; 0 disables hint-triggered resolution
+  /// (Table 1: "setting this value to 0 indicates that this is not a
+  /// hint-based system").
+  double hint = 0.0;
+  /// Delta added to the hint each time the user reports dissatisfaction.
+  double hint_delta = 0.02;
+  /// Minimum spacing between hint-triggered resolution demands, so one dip
+  /// does not fire a burst of redundant rounds.
+  SimDuration demand_cooldown = sec(1);
+
+  // --- fully-automatic mode ---
+  /// Fraction x% of available bandwidth IDEA may consume (§4.6).
+  double bandwidth_cap_fraction = 0.20;
+  /// Available bandwidth b in bytes/second (a monitoring program would feed
+  /// this; benches set it explicitly).
+  double available_bandwidth = 128.0 * 1024.0;
+  /// Absolute frequency clamps (Hz) before learned bounds apply.
+  double min_freq_hz = 1.0 / 300.0;
+  double max_freq_hz = 2.0;
+  /// Multiplicative step when learning the over/undersell bounds.
+  double bound_step = 1.10;
+};
+
+class AdaptiveController {
+ public:
+  /// `demand_resolution` triggers an active round; `set_background_period`
+  /// re-arms the node's background-resolution timer.
+  AdaptiveController(ControllerConfig config,
+                     std::function<void()> demand_resolution,
+                     std::function<void(SimDuration)> set_background_period);
+
+  /// Feed one consistency-level observation (from a detection round).  In
+  /// hint-based mode this is where resolution demands originate.  With a
+  /// hint of exactly 1.0 ("the user does not tolerate any inconsistency",
+  /// Table 1) any detected conflict demands resolution, even when this
+  /// replica happens to be the reference state itself.
+  void observe_level(double level, SimTime now, bool conflict = false);
+
+  /// User interaction (§5.1): the user is unsatisfied with what they see.
+  /// IDEA resolves now and raises the learned acceptable level to
+  /// current-hint + delta so it will act earlier next time.
+  void user_unsatisfied(SimTime now);
+
+  /// Re-set the hint (set_hint API / Figure 8's mid-run change).
+  void set_hint(double hint);
+  [[nodiscard]] double hint() const { return hint_; }
+
+  [[nodiscard]] AdaptiveMode mode() const { return config_.mode; }
+  void set_mode(AdaptiveMode mode) { config_.mode = mode; }
+
+  // --- fully-automatic mode ---
+
+  /// Feed the measured communication cost of one background round (bytes).
+  void observe_round_cost(double bytes);
+
+  /// Feed the currently available bandwidth b (bytes/sec).
+  void observe_bandwidth(double bytes_per_sec);
+
+  /// Business feedback (§5.2): overselling means the frequency was too low
+  /// — raise the learned lower bound; underselling means it was too high —
+  /// lower the learned upper bound.
+  void notify_oversell();
+  void notify_undersell();
+
+  /// Apply Formula 4 with the learned bounds; calls set_background_period.
+  /// Returns the chosen frequency in Hz.
+  double adjust_frequency();
+
+  [[nodiscard]] double current_freq_hz() const { return freq_hz_; }
+  [[nodiscard]] double learned_min_freq() const { return learned_min_hz_; }
+  [[nodiscard]] double learned_max_freq() const { return learned_max_hz_; }
+  [[nodiscard]] double round_cost_bytes() const {
+    return round_cost_.primed() ? round_cost_.value() : 0.0;
+  }
+  [[nodiscard]] std::uint64_t demands_issued() const { return demands_; }
+
+ private:
+  void demand(SimTime now);
+
+  ControllerConfig config_;
+  std::function<void()> demand_resolution_;
+  std::function<void(SimDuration)> set_background_period_;
+
+  double hint_;
+  SimTime last_demand_ = -sec(3600);
+  std::uint64_t demands_ = 0;
+
+  Ewma round_cost_{0.3};
+  double bandwidth_;
+  double freq_hz_ = 0.05;  // 20 s period by default
+  double learned_min_hz_;
+  double learned_max_hz_;
+};
+
+}  // namespace idea::core

@@ -1,0 +1,33 @@
+#include "core/formula.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace idea::core {
+
+double consistency_level(const vv::TactTriple& triple,
+                         const vv::TripleWeights& weights,
+                         const vv::TripleMaxima& maxima) {
+  assert(maxima.valid());
+  assert(weights.valid());
+  auto term = [](double err, double max_err) {
+    const double clamped = std::clamp(err, 0.0, max_err);
+    return (max_err - clamped) / max_err;
+  };
+  const double raw =
+      weights.numerical * term(triple.numerical_error, maxima.numerical) +
+      weights.order * term(triple.order_error, maxima.order) +
+      weights.staleness * term(triple.staleness_sec, maxima.staleness_sec);
+  return std::clamp(raw / weights.sum(), 0.0, 1.0);
+}
+
+double max_uniform_error_for_level(double level,
+                                   const vv::TripleMaxima& maxima) {
+  // With equal weights and err/max identical across metrics:
+  //   level = 1 - err/max  =>  err = (1 - level) * max.
+  const double frac = std::clamp(1.0 - level, 0.0, 1.0);
+  return frac * std::min({maxima.numerical, maxima.order,
+                          maxima.staleness_sec});
+}
+
+}  // namespace idea::core

@@ -1,0 +1,28 @@
+#pragma once
+/// \file formula.hpp
+/// \brief Formula 1 (§4.4): quantifying a consistency level in [0,1].
+///
+///   level = w_num   * (max_num   - num_err)   / max_num
+///         + w_order * (max_order - order_err) / max_order
+///         + w_stale * (max_stale - staleness) / max_stale
+///
+/// Errors are clamped to [0, max] so the level stays in [0,1]; weights are
+/// normalized by their sum so <0.33,0.33,0.33> behaves as exact thirds (the
+/// paper's "treat the three members equally").  A weight of 0 switches a
+/// metric off entirely, as the set_weight API documents.
+
+#include "vv/tact_triple.hpp"
+
+namespace idea::core {
+
+/// Evaluate Formula 1.  Precondition: maxima.valid() && weights.valid().
+double consistency_level(const vv::TactTriple& triple,
+                         const vv::TripleWeights& weights,
+                         const vv::TripleMaxima& maxima);
+
+/// Inverse helper for tests/benches: the largest per-metric error (applied
+/// to all three metrics at once, equal weights) that still yields `level`.
+double max_uniform_error_for_level(double level,
+                                   const vv::TripleMaxima& maxima);
+
+}  // namespace idea::core

@@ -1,0 +1,90 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+#include "detect/detector.hpp"
+
+namespace idea::core {
+
+NodeId choose_winner(const PolicyContext& ctx, const Gathered& participants) {
+  if (participants.empty()) return kNoNode;
+  switch (ctx.policy) {
+    case ResolutionPolicy::kInvalidateBoth:
+      return detect::choose_reference(participants);
+    case ResolutionPolicy::kUserId: {
+      NodeId best = participants.front().first;
+      FairId best_fair = fair_id(best, ctx.deployment_seed);
+      for (const auto& [node, evv] : participants) {
+        const FairId f = fair_id(node, ctx.deployment_seed);
+        if (f > best_fair) {
+          best = node;
+          best_fair = f;
+        }
+      }
+      return best;
+    }
+    case ResolutionPolicy::kPriority: {
+      auto prio = [&ctx](NodeId n) {
+        auto it = ctx.priorities.find(n);
+        return it == ctx.priorities.end() ? 0 : it->second;
+      };
+      NodeId best = participants.front().first;
+      for (const auto& [node, evv] : participants) {
+        const int pn = prio(node);
+        const int pb = prio(best);
+        if (pn > pb || (pn == pb && fair_id(node, ctx.deployment_seed) >
+                                        fair_id(best, ctx.deployment_seed))) {
+          best = node;
+        }
+      }
+      return best;
+    }
+  }
+  return participants.front().first;
+}
+
+SimTime group_last_consistent(const Gathered& participants) {
+  SimTime cutoff = kNever;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    for (std::size_t j = i + 1; j < participants.size(); ++j) {
+      cutoff = std::min(cutoff, participants[i].second.last_consistent_time(
+                                    participants[j].second));
+    }
+  }
+  if (cutoff == kNever) {
+    // Zero or one participant: nothing conflicts; cutoff after everything.
+    cutoff = 0;
+    for (const auto& [node, evv] : participants) {
+      cutoff = std::max(cutoff, evv.latest_update_time());
+    }
+  }
+  return cutoff;
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>> updates_after(
+    const vv::ExtendedVersionVector& merged, SimTime cutoff) {
+  std::vector<std::pair<NodeId, std::uint64_t>> out;
+  // Walk each writer's stamp list; stamps are non-decreasing, so scan from
+  // the back until we fall at or below the cutoff.
+  const vv::VersionVector counts = merged.counts();
+  for (const auto& [writer, count_unused] : counts.entries()) {
+    const std::uint64_t count = merged.count_of(writer);
+    for (std::uint64_t seq = count; seq >= 1; --seq) {
+      if (merged.stamp_of(writer, seq) > cutoff) {
+        out.emplace_back(writer, seq);
+      } else {
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>> updates_not_in(
+    const vv::ExtendedVersionVector& merged,
+    const vv::ExtendedVersionVector& winner) {
+  return winner.missing_from(merged);
+}
+
+}  // namespace idea::core

@@ -1,0 +1,59 @@
+#pragma once
+/// \file policy.hpp
+/// \brief Inconsistency-resolution policies (§4.5.1).
+///
+/// When version vectors are incomparable, a policy arbitrates:
+///  * invalidate-both — all updates issued after the group's last consistent
+///    point are cleared on every replica (whiteboard fairness);
+///  * user-ID based  — the participant with the largest randomized FairId
+///    wins; losers' concurrent updates are invalidated (progress preserved);
+///  * priority based — highest application-assigned priority wins, FairId
+///    breaking ties.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "vv/extended_vv.hpp"
+
+namespace idea::core {
+
+enum class ResolutionPolicy : int {
+  kInvalidateBoth = 1,
+  kUserId = 2,
+  kPriority = 3,
+};
+
+/// Everything a winner decision needs.
+struct PolicyContext {
+  ResolutionPolicy policy = ResolutionPolicy::kUserId;
+  std::uint64_t deployment_seed = 0;  ///< FairId derivation seed.
+  /// Priorities for kPriority (missing nodes default to 0).
+  std::unordered_map<NodeId, int> priorities;
+};
+
+using Gathered = std::vector<std::pair<NodeId, vv::ExtendedVersionVector>>;
+
+/// Choose the winning participant.  For kInvalidateBoth there is no winner
+/// in the usual sense; the function returns the reference replica (highest
+/// maximal id) since a reference is still needed to anchor the merge.
+NodeId choose_winner(const PolicyContext& ctx, const Gathered& participants);
+
+/// The group's last consistent time point: the minimum over all pairs of
+/// ExtendedVersionVector::last_consistent_time.  Updates stamped after this
+/// form the conflict window that invalidate-both clears.
+SimTime group_last_consistent(const Gathered& participants);
+
+/// Update keys (writer, seq) present in `merged` with stamps strictly after
+/// `cutoff` — the conflict window.
+std::vector<std::pair<NodeId, std::uint64_t>> updates_after(
+    const vv::ExtendedVersionVector& merged, SimTime cutoff);
+
+/// Keys in `merged` that the `winner` history lacks — the losers' concurrent
+/// updates, invalidated under kUserId/kPriority.
+std::vector<std::pair<NodeId, std::uint64_t>> updates_not_in(
+    const vv::ExtendedVersionVector& merged,
+    const vv::ExtendedVersionVector& winner);
+
+}  // namespace idea::core

@@ -1,0 +1,82 @@
+#pragma once
+/// \file service.hpp
+/// \brief Multi-file IDEA endpoint: several shared files on one node.
+///
+/// §4.1: "because consistency is associated with a single file, the concept
+/// of top/bottom layer is also associated with a given shared file —
+/// different files may have different top layers — and different top layers
+/// do not interfere with one another.  For example, if a user joins
+/// multiple virtual white boards, each white board is treated separately
+/// and independently."
+///
+/// IdeaService realizes exactly that: it owns one IdeaNode per opened file,
+/// claims the node's transport endpoint once, and routes incoming messages
+/// to the right file's protocol stack by the message's file id.
+
+#include <map>
+#include <memory>
+
+#include "core/idea_node.hpp"
+
+namespace idea::core {
+
+class IdeaService final : public net::MessageHandler {
+ public:
+  IdeaService(NodeId self, net::Transport& transport, std::uint64_t seed)
+      : self_(self), transport_(transport), seed_(seed) {
+    transport_.attach(self_, this);
+  }
+
+  ~IdeaService() override {
+    // Drop the files before releasing the endpoint; their destructors must
+    // not detach an endpoint they never owned.
+    files_.clear();
+    transport_.detach(self_);
+  }
+
+  IdeaService(const IdeaService&) = delete;
+  IdeaService& operator=(const IdeaService&) = delete;
+
+  /// Open (join) a shared file with its own configuration; returns the
+  /// per-file IDEA stack.  Each file gets an independent overlay,
+  /// detector, resolution manager and controller.
+  IdeaNode& open(FileId file, IdeaConfig config) {
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      it = files_
+               .emplace(file, std::make_unique<IdeaNode>(
+                                  self_, file, transport_, config,
+                                  mix64(seed_ ^ (0xF11EULL + file)),
+                                  /*attach_transport=*/false))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Leave a shared file, tearing down its protocol stack.
+  void close(FileId file) { files_.erase(file); }
+
+  [[nodiscard]] IdeaNode* find(FileId file) {
+    auto it = files_.find(file);
+    return it == files_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] std::size_t open_files() const { return files_.size(); }
+  [[nodiscard]] NodeId id() const { return self_; }
+
+  /// Route by the message's file id; messages for files this node has not
+  /// joined are dropped (it is a bottom-layer bystander for them at most,
+  /// and gossip dedup tolerates the loss).
+  void on_message(const net::Message& msg) override {
+    auto it = files_.find(msg.file);
+    if (it != files_.end()) it->second->dispatcher().on_message(msg);
+  }
+
+ private:
+  NodeId self_;
+  net::Transport& transport_;
+  std::uint64_t seed_;
+  std::map<FileId, std::unique_ptr<IdeaNode>> files_;
+};
+
+}  // namespace idea::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file dispatcher.hpp
+/// \brief Per-node message demultiplexer.
+///
+/// A node runs several protocol agents (RanSub, gossip, detection,
+/// resolution).  The transport delivers to one handler per node; the
+/// Dispatcher routes by message-type prefix ("ransub.", "gossip.", ...).
+
+#include <map>
+#include <string>
+
+#include "net/message.hpp"
+
+namespace idea::net {
+
+class Dispatcher final : public MessageHandler {
+ public:
+  /// Route messages whose type starts with `prefix` to `handler` (borrowed).
+  /// Longest matching prefix wins.
+  void route(std::string prefix, MessageHandler* handler) {
+    routes_[std::move(prefix)] = handler;
+  }
+
+  void unroute(const std::string& prefix) { routes_.erase(prefix); }
+
+  void on_message(const Message& msg) override {
+    MessageHandler* best = nullptr;
+    std::size_t best_len = 0;
+    for (const auto& [prefix, handler] : routes_) {
+      if (prefix.size() >= best_len &&
+          msg.type.compare(0, prefix.size(), prefix) == 0) {
+        best = handler;
+        best_len = prefix.size();
+      }
+    }
+    if (best != nullptr) best->on_message(msg);
+  }
+
+ private:
+  std::map<std::string, MessageHandler*> routes_;
+};
+
+}  // namespace idea::net

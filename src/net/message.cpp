@@ -1,0 +1,32 @@
+#include "net/message.hpp"
+
+namespace idea::net {
+
+void MessageCounters::record(const std::string& type, std::uint32_t bytes) {
+  ++messages_;
+  bytes_ += bytes;
+  ++per_type_[type];
+}
+
+std::uint64_t MessageCounters::messages_of(const std::string& type) const {
+  auto it = per_type_.find(type);
+  return it == per_type_.end() ? 0 : it->second;
+}
+
+std::uint64_t MessageCounters::messages_with_prefix(
+    const std::string& prefix) const {
+  std::uint64_t n = 0;
+  for (auto it = per_type_.lower_bound(prefix); it != per_type_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    n += it->second;
+  }
+  return n;
+}
+
+void MessageCounters::reset() {
+  messages_ = 0;
+  bytes_ = 0;
+  per_type_.clear();
+}
+
+}  // namespace idea::net

@@ -1,0 +1,64 @@
+#include "net/sim_transport.hpp"
+
+#include <cassert>
+
+namespace idea::net {
+
+SimTransport::SimTransport(sim::Simulator& sim, sim::LatencyModel& latency,
+                           SimTransportOptions options)
+    : sim_(sim), latency_(latency), options_(options), rng_(options.seed) {
+  skew_.resize(options_.node_count, 0);
+  if (options_.max_clock_skew > 0) {
+    for (auto& s : skew_) {
+      s = rng_.uniform_int(-options_.max_clock_skew,
+                           options_.max_clock_skew);
+    }
+  }
+}
+
+void SimTransport::attach(NodeId node, MessageHandler* handler) {
+  assert(handler != nullptr);
+  handlers_[node] = handler;
+  if (node >= skew_.size()) skew_.resize(node + 1, 0);
+}
+
+void SimTransport::detach(NodeId node) { handlers_.erase(node); }
+
+void SimTransport::send(Message msg) {
+  msg.sent_at = sim_.now();
+  counters_.record(msg.type, msg.wire_bytes);
+  if (options_.loss_rate > 0.0 && rng_.chance(options_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+  const SimDuration delay = latency_.sample(msg.from, msg.to, rng_);
+  sim_.schedule_after(delay, [this, m = std::move(msg)]() {
+    auto it = handlers_.find(m.to);
+    if (it != handlers_.end()) it->second->on_message(m);
+  });
+}
+
+SimTime SimTransport::now() const { return sim_.now(); }
+
+SimTime SimTransport::local_time(NodeId node) const {
+  const SimDuration skew = node < skew_.size() ? skew_[node] : 0;
+  return sim_.now() + skew;
+}
+
+std::uint64_t SimTransport::call_after(SimDuration delay,
+                                       std::function<void()> fn) {
+  return sim_.schedule_after(delay, std::move(fn));
+}
+
+std::uint64_t SimTransport::call_every(SimDuration period,
+                                       std::function<void()> fn) {
+  return sim_.schedule_periodic(period, std::move(fn));
+}
+
+void SimTransport::cancel_call(std::uint64_t handle) { sim_.cancel(handle); }
+
+SimDuration SimTransport::skew_of(NodeId node) const {
+  return node < skew_.size() ? skew_[node] : 0;
+}
+
+}  // namespace idea::net

@@ -1,0 +1,61 @@
+#pragma once
+/// \file sim_transport.hpp
+/// \brief Transport implementation on top of the discrete-event simulator.
+///
+/// Every send samples a one-way delay from the latency model, optionally
+/// drops the message, and schedules delivery on the simulator.  Per-node
+/// clock skew is sampled once at construction (the paper assumes NTP keeps
+/// node clocks within seconds of each other; we default to ±250 ms).
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace idea::net {
+
+struct SimTransportOptions {
+  double loss_rate = 0.0;           ///< Probability a message is dropped.
+  SimDuration max_clock_skew = 0;   ///< Per-node skew in [-max, +max].
+  std::uint32_t node_count = 0;     ///< Nodes to pre-sample skew for.
+  std::uint64_t seed = 7;           ///< Jitter/loss/skew stream seed.
+};
+
+class SimTransport final : public Transport {
+ public:
+  /// `sim` and `latency` are borrowed and must outlive the transport.
+  SimTransport(sim::Simulator& sim, sim::LatencyModel& latency,
+               SimTransportOptions options = {});
+
+  void attach(NodeId node, MessageHandler* handler) override;
+  void detach(NodeId node) override;
+  void send(Message msg) override;
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] SimTime local_time(NodeId node) const override;
+  std::uint64_t call_after(SimDuration delay,
+                           std::function<void()> fn) override;
+  std::uint64_t call_every(SimDuration period,
+                           std::function<void()> fn) override;
+  void cancel_call(std::uint64_t handle) override;
+
+  /// Number of messages dropped by the loss model.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// The skew assigned to a node (diagnostic).
+  [[nodiscard]] SimDuration skew_of(NodeId node) const;
+
+ private:
+  sim::Simulator& sim_;
+  sim::LatencyModel& latency_;
+  SimTransportOptions options_;
+  Rng rng_;
+  std::unordered_map<NodeId, MessageHandler*> handlers_;
+  std::vector<SimDuration> skew_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace idea::net

@@ -1,0 +1,135 @@
+#include "net/thread_transport.hpp"
+
+#include <cassert>
+
+namespace idea::net {
+
+ThreadTransport::ThreadTransport(sim::LatencyModel& latency,
+                                 ThreadTransportOptions options)
+    : latency_(latency), options_(options), start_(Clock::now()),
+      rng_(options.seed),
+      worker_([this](std::stop_token st) { dispatcher(st); }) {}
+
+ThreadTransport::~ThreadTransport() {
+  worker_.request_stop();
+  cv_.notify_all();
+}
+
+ThreadTransport::Clock::duration ThreadTransport::to_real(
+    SimDuration virtual_usec) const {
+  const double real_usec =
+      static_cast<double>(virtual_usec) * options_.time_scale;
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(real_usec));
+}
+
+void ThreadTransport::attach(NodeId node, MessageHandler* handler) {
+  std::scoped_lock lock(mu_);
+  handlers_[node] = handler;
+}
+
+void ThreadTransport::detach(NodeId node) {
+  std::scoped_lock lock(mu_);
+  handlers_.erase(node);
+}
+
+void ThreadTransport::send(Message msg) {
+  SimDuration delay = 0;
+  {
+    std::scoped_lock lock(mu_);
+    msg.sent_at = now();
+    counters_.record(msg.type, msg.wire_bytes);
+    if (options_.loss_rate > 0.0 && rng_.chance(options_.loss_rate)) return;
+    delay = latency_.sample(msg.from, msg.to, rng_);
+  }
+  enqueue(delay,
+          [this, m = std::move(msg)]() {
+            MessageHandler* h = nullptr;
+            {
+              std::scoped_lock lock(mu_);
+              auto it = handlers_.find(m.to);
+              if (it != handlers_.end()) h = it->second;
+            }
+            // Deliver outside mu_ (CP.22: no unknown code under a lock).
+            if (h != nullptr) h->on_message(m);
+          },
+          /*period=*/0);
+}
+
+SimTime ThreadTransport::now() const {
+  const auto real = Clock::now() - start_;
+  const double real_usec =
+      std::chrono::duration<double, std::micro>(real).count();
+  return static_cast<SimTime>(real_usec / options_.time_scale);
+}
+
+SimTime ThreadTransport::local_time(NodeId) const { return now(); }
+
+std::uint64_t ThreadTransport::call_after(SimDuration delay,
+                                          std::function<void()> fn) {
+  return enqueue(delay, std::move(fn), /*period=*/0);
+}
+
+std::uint64_t ThreadTransport::call_every(SimDuration period,
+                                          std::function<void()> fn) {
+  assert(period > 0);
+  return enqueue(period, std::move(fn), period);
+}
+
+void ThreadTransport::cancel_call(std::uint64_t handle) {
+  std::scoped_lock lock(mu_);
+  cancelled_.insert(handle);
+}
+
+std::uint64_t ThreadTransport::enqueue(SimDuration delay,
+                                       std::function<void()> fn,
+                                       SimDuration period) {
+  std::scoped_lock lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  queue_.push(Pending{Clock::now() + to_real(delay), next_seq_++,
+                      std::move(fn), period, handle});
+  ++in_flight_;
+  cv_.notify_all();
+  return handle;
+}
+
+void ThreadTransport::dispatcher(std::stop_token st) {
+  std::unique_lock lock(mu_);
+  while (!st.stop_requested()) {
+    if (queue_.empty()) {
+      cv_.wait(lock, st, [this] { return !queue_.empty(); });
+      continue;
+    }
+    const auto due = queue_.top().due;
+    if (Clock::now() < due) {
+      cv_.wait_until(lock, st, due, [this, due] {
+        return !queue_.empty() && queue_.top().due < due;
+      });
+      continue;
+    }
+    Pending p = queue_.top();
+    queue_.pop();
+    --in_flight_;
+    if (cancelled_.erase(p.handle) > 0) {
+      cv_.notify_all();
+      continue;
+    }
+    if (p.period > 0) {
+      queue_.push(Pending{p.due + to_real(p.period), next_seq_++, p.fn,
+                          p.period, p.handle});
+      ++in_flight_;
+    }
+    lock.unlock();
+    p.fn();  // run protocol code without holding the lock
+    lock.lock();
+    cv_.notify_all();
+  }
+}
+
+bool ThreadTransport::wait_idle(SimDuration timeout) {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, to_real(timeout),
+                      [this] { return in_flight_ == 0; });
+}
+
+}  // namespace idea::net

@@ -1,0 +1,60 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Transport abstraction shared by the simulated and threaded runtimes.
+///
+/// Protocol code (overlay, detection, resolution) is written once against
+/// this interface; the experiments use SimTransport for determinism and the
+/// examples can use ThreadTransport to run the middleware under real
+/// concurrency.
+
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace idea::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Register the handler for a node id.  Must happen before messages are
+  /// sent to that node.  Handlers are borrowed, not owned.
+  virtual void attach(NodeId node, MessageHandler* handler) = 0;
+
+  /// Remove a node (e.g. simulated crash).  In-flight messages to it drop.
+  virtual void detach(NodeId node) = 0;
+
+  /// Send a message; delivery is asynchronous with model-dependent delay.
+  virtual void send(Message msg) = 0;
+
+  /// Global (true) time.  Nodes should use local_time() for timestamps.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Node-local clock reading: global time plus that node's skew.  The paper
+  /// assumes NTP keeps skew within seconds; skew is injected here so the
+  /// staleness pipeline is exercised against imperfect clocks.
+  [[nodiscard]] virtual SimTime local_time(NodeId node) const = 0;
+
+  /// Schedule a callback on the transport's timeline (protocol timers).
+  virtual std::uint64_t call_after(SimDuration delay,
+                                   std::function<void()> fn) = 0;
+
+  /// Schedule a recurring callback; returns a handle for cancel_call.
+  virtual std::uint64_t call_every(SimDuration period,
+                                   std::function<void()> fn) = 0;
+
+  /// Cancel a pending/recurring callback.
+  virtual void cancel_call(std::uint64_t handle) = 0;
+
+  /// Message/byte accounting (send-side).
+  [[nodiscard]] MessageCounters& counters() { return counters_; }
+  [[nodiscard]] const MessageCounters& counters() const { return counters_; }
+
+ protected:
+  MessageCounters counters_;
+};
+
+}  // namespace idea::net

@@ -1,0 +1,62 @@
+#include "overlay/gossip.hpp"
+
+#include <cassert>
+
+namespace idea::overlay {
+
+GossipAgent::GossipAgent(NodeId self, net::Transport& transport,
+                         GossipParams params,
+                         std::function<void(const GossipEnvelope&)> deliver,
+                         std::uint64_t seed)
+    : self_(self), transport_(transport), params_(params),
+      deliver_(std::move(deliver)), rng_(seed) {
+  assert(params_.nodes > 0);
+}
+
+std::uint64_t GossipAgent::broadcast(FileId file, std::string inner_type,
+                                     std::any inner,
+                                     std::uint32_t inner_bytes) {
+  GossipEnvelope env;
+  env.rumor_id = (static_cast<std::uint64_t>(self_) << 40) | next_rumor_++;
+  env.origin = self_;
+  env.ttl = params_.ttl;
+  env.inner_type = std::move(inner_type);
+  env.inner = std::move(inner);
+  env.inner_bytes = inner_bytes;
+  seen_.insert(env.rumor_id);
+  deliver_(env);  // origin delivers to itself
+  forward(env, file);
+  return env.rumor_id;
+}
+
+void GossipAgent::on_message(const net::Message& msg) {
+  if (msg.type != kGossipType) return;
+  const auto& env = std::any_cast<const GossipEnvelope&>(msg.payload);
+  if (!seen_.insert(env.rumor_id).second) return;  // duplicate
+  deliver_(env);
+  if (env.ttl > 0) {
+    GossipEnvelope next = env;
+    next.ttl -= 1;
+    forward(next, msg.file);
+  }
+}
+
+void GossipAgent::forward(const GossipEnvelope& env, FileId file) {
+  if (env.ttl == 0 || params_.nodes <= 1) return;
+  const std::uint32_t want = std::min(params_.fanout, params_.nodes - 1);
+  // Sample distinct targets from all nodes except self.
+  auto sample = rng_.sample_without_replacement(params_.nodes - 1, want);
+  for (std::uint32_t idx : sample) {
+    const NodeId target = idx >= self_ ? idx + 1 : idx;
+    net::Message m;
+    m.from = self_;
+    m.to = target;
+    m.file = file;
+    m.type = kGossipType;
+    m.payload = env;
+    m.wire_bytes = 32 + env.inner_bytes;
+    transport_.send(std::move(m));
+  }
+}
+
+}  // namespace idea::overlay

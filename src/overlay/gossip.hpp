@@ -1,0 +1,69 @@
+#pragma once
+/// \file gossip.hpp
+/// \brief Probabilistic push gossip (lpbcast-style [6]) for the bottom layer.
+///
+/// The bottom layer covers every node; IDEA scans it in the background for
+/// inconsistencies the top layer missed (§4.3).  A rumor starts at one node
+/// and is pushed to `fanout` random peers per hop; TTL bounds the traversal
+/// delay, trading coverage for responsiveness exactly as §4.4.2 describes.
+
+#include <any>
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace idea::overlay {
+
+struct GossipParams {
+  std::uint32_t fanout = 3;
+  std::uint32_t ttl = 4;
+  std::uint32_t nodes = 0;  ///< Deployment size; peers are 0..nodes-1.
+};
+
+/// Envelope wrapped around the application payload while it gossips.
+struct GossipEnvelope {
+  std::uint64_t rumor_id = 0;
+  NodeId origin = kNoNode;
+  std::uint32_t ttl = 0;
+  std::string inner_type;
+  std::any inner;
+  std::uint32_t inner_bytes = 0;
+};
+
+class GossipAgent final : public net::MessageHandler {
+ public:
+  /// `deliver` fires exactly once per rumor per node (dedup by rumor id),
+  /// including on the origin.
+  GossipAgent(NodeId self, net::Transport& transport, GossipParams params,
+              std::function<void(const GossipEnvelope&)> deliver,
+              std::uint64_t seed);
+
+  GossipAgent(const GossipAgent&) = delete;
+  GossipAgent& operator=(const GossipAgent&) = delete;
+
+  /// Start a rumor from this node.  Returns its id.
+  std::uint64_t broadcast(FileId file, std::string inner_type,
+                          std::any inner, std::uint32_t inner_bytes);
+
+  void on_message(const net::Message& msg) override;
+
+  static constexpr const char* kGossipType = "gossip.push";
+
+  [[nodiscard]] std::uint64_t rumors_seen() const { return seen_.size(); }
+
+ private:
+  void forward(const GossipEnvelope& env, FileId file);
+
+  NodeId self_;
+  net::Transport& transport_;
+  GossipParams params_;
+  std::function<void(const GossipEnvelope&)> deliver_;
+  Rng rng_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t next_rumor_ = 1;
+};
+
+}  // namespace idea::overlay

@@ -1,0 +1,17 @@
+#include "overlay/temperature.hpp"
+
+namespace idea::overlay {
+
+void TemperatureTracker::record_update(FileId file, SimTime now) {
+  auto& s = state_[file];
+  s.score = decayed(s, now) + 1.0;
+  s.last = now;
+}
+
+double TemperatureTracker::temperature(FileId file, SimTime now) const {
+  auto it = state_.find(file);
+  if (it == state_.end()) return 0.0;
+  return decayed(it->second, now);
+}
+
+}  // namespace idea::overlay

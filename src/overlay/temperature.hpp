@@ -1,0 +1,60 @@
+#pragma once
+/// \file temperature.hpp
+/// \brief Updating "temperature" of a node for a shared file (§4.1).
+///
+/// The top layer (temperature overlay) contains the nodes that update a file
+/// "sufficiently frequently and/or recently".  We score both aspects with an
+/// exponentially-decayed update count: each update contributes 1, decaying
+/// with time constant tau.  A node writing every 5 s with tau = 60 s holds a
+/// temperature around 12; a node that stopped writing cools below any
+/// sensible threshold within a few tau.
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace idea::overlay {
+
+struct TemperatureParams {
+  SimDuration tau = sec(60);   ///< Decay time constant.
+  double hot_threshold = 0.5;  ///< Score at/above which a node is "hot".
+};
+
+/// Per-node tracker of its own updating temperature for each file.
+class TemperatureTracker {
+ public:
+  explicit TemperatureTracker(TemperatureParams params = {})
+      : params_(params) {}
+
+  /// Record that this node issued an update to `file` at `now`.
+  void record_update(FileId file, SimTime now);
+
+  /// Current decayed score for `file`.
+  [[nodiscard]] double temperature(FileId file, SimTime now) const;
+
+  /// Whether this node currently qualifies as a hot writer of `file`.
+  [[nodiscard]] bool is_hot(FileId file, SimTime now) const {
+    return temperature(file, now) >= params_.hot_threshold;
+  }
+
+  [[nodiscard]] const TemperatureParams& params() const { return params_; }
+
+ private:
+  struct State {
+    double score = 0.0;
+    SimTime last = 0;
+  };
+
+  [[nodiscard]] double decayed(const State& s, SimTime now) const {
+    if (s.score == 0.0) return 0.0;
+    const double dt = to_sec(now - s.last);
+    return s.score * std::exp(-dt / to_sec(params_.tau));
+  }
+
+  TemperatureParams params_;
+  std::unordered_map<FileId, State> state_;
+};
+
+}  // namespace idea::overlay

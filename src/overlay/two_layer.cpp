@@ -1,0 +1,63 @@
+#include "overlay/two_layer.hpp"
+
+#include <algorithm>
+
+namespace idea::overlay {
+
+void TwoLayerView::ingest(const std::vector<TempAd>& ads, SimTime now) {
+  for (const TempAd& ad : ads) {
+    if (ad.node == kNoNode) continue;
+    auto& slot = ads_[ad.file][ad.node];
+    if (ad.stamped_at >= slot.stamped_at) {
+      slot = AdState{ad.temperature, ad.stamped_at};
+    }
+  }
+  // Opportunistic expiry so the maps do not grow without bound.
+  for (auto& [file, by_node] : ads_) {
+    for (auto it = by_node.begin(); it != by_node.end();) {
+      if (now - it->second.stamped_at > params_.ad_ttl) {
+        it = by_node.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TwoLayerView::note_self(FileId file, double temperature, SimTime now) {
+  ads_[file][self_] = AdState{temperature, now};
+}
+
+std::vector<NodeId> TwoLayerView::top_layer(FileId file, SimTime now) const {
+  std::vector<NodeId> out;
+  auto it = ads_.find(file);
+  if (it == ads_.end()) return out;
+  for (const auto& [node, ad] : it->second) {
+    if (now - ad.stamped_at > params_.ad_ttl) continue;
+    if (ad.temperature >= params_.hot_threshold) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool TwoLayerView::in_top_layer(NodeId node, FileId file, SimTime now) const {
+  auto it = ads_.find(file);
+  if (it == ads_.end()) return false;
+  auto jt = it->second.find(node);
+  if (jt == it->second.end()) return false;
+  return now - jt->second.stamped_at <= params_.ad_ttl &&
+         jt->second.temperature >= params_.hot_threshold;
+}
+
+std::vector<NodeId> TwoLayerView::bottom_layer(FileId file,
+                                               SimTime now) const {
+  const std::vector<NodeId> top = top_layer(file, now);
+  std::vector<NodeId> out;
+  out.reserve(params_.all_nodes);
+  for (NodeId n = 0; n < params_.all_nodes; ++n) {
+    if (!std::binary_search(top.begin(), top.end(), n)) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace idea::overlay

@@ -1,0 +1,66 @@
+#pragma once
+/// \file two_layer.hpp
+/// \brief Per-node view of the two-layer infrastructure (§4.1).
+///
+/// Each node folds the temperature advertisements it receives from RanSub
+/// epochs (plus its own temperature) into a per-file view: the *top layer*
+/// is the set of currently-hot writers; everyone else is the bottom layer.
+/// Ads expire after a few epochs so nodes that stop writing cool out of the
+/// top layer.  Different files have independent top layers, as the paper
+/// requires.
+
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/ransub.hpp"
+#include "overlay/temperature.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace idea::overlay {
+
+struct TwoLayerParams {
+  double hot_threshold = 0.5;      ///< Ads at/above this are top-layer.
+  SimDuration ad_ttl = sec(30);    ///< Ads older than this are discarded.
+  std::uint32_t all_nodes = 0;     ///< Deployment size (bottom layer = rest).
+};
+
+class TwoLayerView {
+ public:
+  TwoLayerView(NodeId self, TwoLayerParams params)
+      : self_(self), params_(params) {}
+
+  /// Fold a RanSub delivery into the view.
+  void ingest(const std::vector<TempAd>& ads, SimTime now);
+
+  /// Record this node's own temperature for a file (kept fresh locally
+  /// rather than waiting to hear our own ad back from the overlay).
+  void note_self(FileId file, double temperature, SimTime now);
+
+  /// The top layer for `file`: hot, unexpired writers (self included when
+  /// hot), sorted by node id.
+  [[nodiscard]] std::vector<NodeId> top_layer(FileId file, SimTime now) const;
+
+  [[nodiscard]] bool in_top_layer(NodeId node, FileId file,
+                                  SimTime now) const;
+
+  /// Bottom layer = all deployment nodes not currently in the top layer.
+  [[nodiscard]] std::vector<NodeId> bottom_layer(FileId file,
+                                                 SimTime now) const;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const TwoLayerParams& params() const { return params_; }
+
+ private:
+  struct AdState {
+    double temperature = 0.0;
+    SimTime stamped_at = 0;
+  };
+
+  NodeId self_;
+  TwoLayerParams params_;
+  // (file -> writer -> freshest ad)
+  std::unordered_map<FileId, std::unordered_map<NodeId, AdState>> ads_;
+};
+
+}  // namespace idea::overlay

@@ -1,0 +1,161 @@
+#include "replica/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace idea::replica {
+
+const Update& ReplicaStore::apply_local(SimTime local_now,
+                                        std::string content,
+                                        double meta_delta) {
+  Update u;
+  u.key = UpdateKey{node_, ++local_seq_};
+  u.file = file_;
+  u.stamp = local_now;
+  u.content = std::move(content);
+  u.meta_delta = meta_delta;
+  auto [it, inserted] = log_.emplace(u.key, std::move(u));
+  assert(inserted);
+  evv_.record_update(node_, it->second.stamp, 0.0);
+  recompute_meta();
+  return it->second;
+}
+
+bool ReplicaStore::apply_remote(const Update& u) {
+  assert(u.file == file_);
+  if (log_.count(u.key) > 0) return true;
+  const std::uint64_t known = evv_.count_of(u.key.writer);
+  if (u.key.seq > known + 1) {
+    // A predecessor is still in flight; park this update until it lands.
+    pending_.emplace(u.key, u);
+    return false;
+  }
+  if (u.key.seq <= known) return true;  // duplicate of an applied update
+  log_.emplace(u.key, u);
+  evv_.record_update(u.key.writer, u.stamp, 0.0);
+  if (u.key.writer == node_ && u.key.seq > local_seq_) {
+    local_seq_ = u.key.seq;  // rejoining after rollback of our own state
+  }
+  // Drain any parked successors that are now applicable.
+  for (auto it = pending_.find(UpdateKey{u.key.writer, u.key.seq + 1});
+       it != pending_.end() &&
+       it->first.writer == u.key.writer &&
+       it->first.seq == evv_.count_of(u.key.writer) + 1;
+       it = pending_.find(
+           UpdateKey{u.key.writer, evv_.count_of(u.key.writer) + 1})) {
+    log_.emplace(it->first, it->second);
+    evv_.record_update(it->first.writer, it->second.stamp, 0.0);
+    if (it->first.writer == node_ && it->first.seq > local_seq_) {
+      local_seq_ = it->first.seq;
+    }
+    pending_.erase(it);
+  }
+  recompute_meta();
+  return true;
+}
+
+bool ReplicaStore::has(const UpdateKey& key) const {
+  return log_.count(key) > 0;
+}
+
+const Update* ReplicaStore::find(const UpdateKey& key) const {
+  auto it = log_.find(key);
+  return it == log_.end() ? nullptr : &it->second;
+}
+
+std::vector<Update> ReplicaStore::updates_ahead_of(
+    const vv::VersionVector& peer_counts) const {
+  std::vector<Update> out;
+  for (const auto& [key, u] : log_) {
+    if (key.seq > peer_counts.get(key.writer)) out.push_back(u);
+  }
+  // Per-writer sequence order is implied by the map's key order; sort whole
+  // batch canonically so receivers apply writers' histories in seq order.
+  std::sort(out.begin(), out.end(), [](const Update& a, const Update& b) {
+    return a.key < b.key;
+  });
+  return out;
+}
+
+bool ReplicaStore::invalidate(const UpdateKey& key) {
+  auto it = log_.find(key);
+  if (it == log_.end()) return false;
+  if (!it->second.invalidated) {
+    it->second.invalidated = true;
+    recompute_meta();
+  }
+  return true;
+}
+
+std::vector<UpdateKey> ReplicaStore::invalidated_keys() const {
+  std::vector<UpdateKey> out;
+  for (const auto& [key, u] : log_) {
+    if (u.invalidated) out.push_back(key);
+  }
+  return out;
+}
+
+std::size_t ReplicaStore::rollback_to(SimTime t) {
+  std::size_t dropped = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.stamp > t) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = log_.begin(); it != log_.end();) {
+    if (it->second.stamp > t) {
+      it = log_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    // Rebuild the EVV from the surviving log.  A writer's stamps are
+    // non-decreasing, so dropping stamp > t removes a per-writer suffix and
+    // the remaining history is still a valid prefix.
+    const double saved_meta = evv_.meta();
+    (void)saved_meta;
+    vv::ExtendedVersionVector fresh;
+    for (const auto& [key, u] : log_) {
+      fresh.record_update(key.writer, u.stamp, 0.0);
+    }
+    fresh.set_triple(evv_.triple());
+    evv_ = std::move(fresh);
+    local_seq_ = evv_.count_of(node_);
+    recompute_meta();
+  }
+  return dropped;
+}
+
+std::vector<Update> ReplicaStore::ordered_contents() const {
+  std::vector<Update> out;
+  out.reserve(log_.size());
+  for (const auto& [key, u] : log_) out.push_back(u);
+  std::sort(out.begin(), out.end(), CanonicalOrder{});
+  return out;
+}
+
+std::uint64_t ReplicaStore::content_digest() const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ file_;
+  for (const Update& u : ordered_contents()) {
+    if (u.invalidated) continue;
+    h = mix64(h ^ u.key.writer);
+    h = mix64(h ^ u.key.seq);
+    h = mix64(h ^ static_cast<std::uint64_t>(u.stamp));
+    for (char c : u.content) h = mix64(h ^ static_cast<std::uint8_t>(c));
+  }
+  return h;
+}
+
+void ReplicaStore::recompute_meta() {
+  double meta = 0.0;
+  for (const auto& [key, u] : log_) {
+    if (!u.invalidated) meta += u.meta_delta;
+  }
+  evv_.set_meta(meta);
+}
+
+}  // namespace idea::replica

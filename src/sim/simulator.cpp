@@ -1,0 +1,90 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace idea::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t < now_ ? now_ : t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(SimDuration delay,
+                                  std::function<void()> fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_periodic(SimDuration period,
+                                     std::function<void()> fn,
+                                     SimDuration initial_delay) {
+  assert(period > 0);
+  if (initial_delay < 0) initial_delay = period;
+  const EventId chain = next_id_++;
+  periodic_alive_.insert(chain);
+  // The chain's events reuse `chain` as their queue id so that cancel(chain)
+  // kills whichever occurrence is pending.
+  queue_.push(Event{now_ + initial_delay, chain,
+                    [this, chain, period, f = std::move(fn)]() mutable {
+                      f();
+                      reschedule_periodic(chain, period, f);
+                    }});
+  return chain;
+}
+
+void Simulator::reschedule_periodic(EventId chain, SimDuration period,
+                                    std::function<void()> fn) {
+  if (!periodic_alive_.count(chain)) return;  // cancelled from inside fn()
+  queue_.push(Event{now_ + period, chain,
+                    [this, chain, period, f = std::move(fn)]() mutable {
+                      f();
+                      reschedule_periodic(chain, period, f);
+                    }});
+}
+
+bool Simulator::cancel(EventId id) {
+  const bool was_periodic = periodic_alive_.erase(id) > 0;
+  // Lazy deletion: mark; skip when popped.
+  const bool inserted = cancelled_.insert(id).second;
+  return was_periodic || inserted;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0 && !periodic_alive_.count(ev.id)) {
+      continue;  // skip cancelled one-shot
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t limit) {
+  while (limit-- > 0 && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+std::size_t Simulator::pending() const {
+  // cancelled_ may contain ids already popped; this is a diagnostic bound.
+  return queue_.size() >= cancelled_.size()
+             ? queue_.size() - cancelled_.size()
+             : 0;
+}
+
+}  // namespace idea::sim

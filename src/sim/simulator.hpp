@@ -1,0 +1,101 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Deterministic discrete-event simulation kernel.
+///
+/// The kernel is the substrate that replaces the paper's Planet-Lab testbed:
+/// protocol code schedules callbacks at simulated times, and the kernel runs
+/// them in (time, insertion) order.  Ties are broken by insertion sequence so
+/// runs are exactly reproducible — a requirement for every experiment bench
+/// and for the property tests that replay seeds.
+///
+/// The kernel is single-threaded on purpose (CP.4 — tasks, not threads; all
+/// parallelism in the *protocols* is virtual).  A separate ThreadTransport in
+/// src/net demonstrates the middleware under real concurrency.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace idea::sim {
+
+/// Identifier of a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Discrete-event simulator: a priority queue of timed callbacks.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.  Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now).  Returns a cancel handle.
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Schedule `fn` every `period`, first firing after `initial_delay`
+  /// (defaults to one period).  The periodic chain stops when cancelled.
+  EventId schedule_periodic(SimDuration period, std::function<void()> fn,
+                            SimDuration initial_delay = -1);
+
+  /// Cancel a pending event (one-shot or the whole periodic chain).
+  /// Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Run the next event, if any.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `limit` events were processed.
+  void run(std::uint64_t limit = UINT64_MAX);
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Run for `d` more simulated microseconds.
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+  /// Number of events currently pending (cancelled ones are excluded).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  void reschedule_periodic(EventId chain, SimDuration period,
+                           std::function<void()> fn);
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  // Periodic chains are identified by the EventId of their *first* event;
+  // the chain id stays valid for cancel() across re-arms.
+  std::unordered_set<EventId> periodic_alive_;
+};
+
+}  // namespace idea::sim

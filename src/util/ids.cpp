@@ -1,0 +1,14 @@
+#include "util/ids.hpp"
+
+#include <cstdio>
+
+namespace idea {
+
+std::string node_name(NodeId id) {
+  if (id == kNoNode) return "n--";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "n%02u", id);
+  return buf;
+}
+
+}  // namespace idea

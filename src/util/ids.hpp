@@ -1,0 +1,61 @@
+#pragma once
+/// \file ids.hpp
+/// \brief Identifier types for nodes, files and updates.
+///
+/// The paper assigns every node a randomized identifier (e.g. the MD5 hash of
+/// its IP address) so that ID-based conflict resolution is fair (§4.5.1).  We
+/// model that with a small dense index (`NodeId`) used for routing plus a
+/// 64-bit `FairId` drawn from a seeded hash, used only by resolution policies.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace idea {
+
+/// Dense node index: 0..N-1 within a deployment. Used for addressing.
+using NodeId = std::uint32_t;
+
+/// Identifier of a shared file/object (a white board, a flight record, ...).
+using FileId = std::uint32_t;
+
+/// Randomized fairness identifier used by the "user ID based" resolution
+/// policy.  Distinct from NodeId so that routing order never biases who wins
+/// a conflict.
+using FairId = std::uint64_t;
+
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+/// SplitMix64 hash step; the standard 64-bit finalizer.  Used to derive
+/// FairIds and to hash (node, file) pairs deterministically.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive the fairness ID for a node from a deployment-wide seed.  Mirrors
+/// the paper's "hash value of their IP address via MD5".
+constexpr FairId fair_id(NodeId node, std::uint64_t deployment_seed) {
+  return mix64(deployment_seed ^ (0xA5A5'0000ULL + node));
+}
+
+/// A (node, file) key usable in hash maps.
+struct NodeFileKey {
+  NodeId node = kNoNode;
+  FileId file = 0;
+  friend bool operator==(const NodeFileKey&, const NodeFileKey&) = default;
+};
+
+struct NodeFileKeyHash {
+  std::size_t operator()(const NodeFileKey& k) const {
+    return static_cast<std::size_t>(
+        mix64((static_cast<std::uint64_t>(k.node) << 32) | k.file));
+  }
+};
+
+/// Human-readable node name for traces: "n07".
+std::string node_name(NodeId id);
+
+}  // namespace idea

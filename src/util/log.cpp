@@ -1,0 +1,81 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace idea {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mu;
+Log::Sink g_sink;  // empty => stderr default
+
+void default_sink(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", Log::level_name(level), msg.c_str());
+}
+}  // namespace
+
+LogLevel Log::threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void Log::set_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Log::Sink Log::set_sink(Sink sink) {
+  std::scoped_lock lock(g_sink_mu);
+  Sink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::scoped_lock lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogCapture::LogCapture(LogLevel threshold)
+    : previous_threshold_(Log::threshold()) {
+  Log::set_threshold(threshold);
+  previous_sink_ = Log::set_sink([this](LogLevel level, const std::string& m) {
+    std::scoped_lock lock(mu_);
+    buffer_ += Log::level_name(level);
+    buffer_ += ": ";
+    buffer_ += m;
+    buffer_ += '\n';
+  });
+}
+
+LogCapture::~LogCapture() {
+  Log::set_sink(std::move(previous_sink_));
+  Log::set_threshold(previous_threshold_);
+}
+
+std::string LogCapture::text() const {
+  std::scoped_lock lock(mu_);
+  return buffer_;
+}
+
+bool LogCapture::contains(const std::string& needle) const {
+  std::scoped_lock lock(mu_);
+  return buffer_.find(needle) != std::string::npos;
+}
+
+}  // namespace idea

@@ -1,0 +1,78 @@
+#pragma once
+/// \file log.hpp
+/// \brief Lightweight leveled logging with per-run capture.
+///
+/// The simulator runs millions of events; logging must be cheap when
+/// disabled.  `IDEA_LOG(level)` short-circuits before formatting.  A
+/// `LogCapture` can be installed in tests to assert on protocol traces.
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace idea {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logger facade.  Thread-safe: the sink is called under a mutex.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// Replace the sink (default writes to stderr).  Returns the previous one.
+  static Sink set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+/// RAII helper that redirects log output into a string buffer, for tests.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel threshold = LogLevel::kTrace);
+  ~LogCapture();
+
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] bool contains(const std::string& needle) const;
+
+ private:
+  Log::Sink previous_sink_;
+  LogLevel previous_threshold_;
+  mutable std::mutex mu_;
+  std::string buffer_;
+};
+
+namespace detail {
+/// Stream-collecting helper behind IDEA_LOG.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace idea
+
+/// Usage: IDEA_LOG(kInfo) << "resolved " << n << " conflicts";
+#define IDEA_LOG(level)                                            \
+  if (::idea::LogLevel::level < ::idea::Log::threshold()) {        \
+  } else                                                           \
+    ::idea::detail::LogLine(::idea::LogLevel::level)

@@ -1,0 +1,115 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Statistics accumulators used by benches and the adaptive controller.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace idea {
+
+/// Online mean/variance/min/max (Welford).  O(1) memory; numerically stable.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;   ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile accumulator: stores samples, sorts on demand.
+/// Fine for bench-scale sample counts (<= millions).
+class PercentileStat {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// Linear-interpolated percentile; q in [0,100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// ASCII rendering for terminal reports.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Exponentially-weighted moving average, used by the fully-automatic
+/// controller to smooth load/consistency observations.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// A labelled time series: (t_seconds, value) pairs plus helpers for the
+/// figure benches (min over a window, mean, CSV dump).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string label) : label_(std::move(label)) {}
+
+  void add(double t, double v);
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] std::size_t size() const { return ts_.size(); }
+  [[nodiscard]] double time_at(std::size_t i) const { return ts_[i]; }
+  [[nodiscard]] double value_at(std::size_t i) const { return vs_[i]; }
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double mean_value() const;
+  /// Minimum of samples with t in [t0, t1).
+  [[nodiscard]] double min_in_window(double t0, double t1) const;
+
+ private:
+  std::string label_;
+  std::vector<double> ts_, vs_;
+};
+
+}  // namespace idea

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace idea {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::percent(double frac, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, frac * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << row[c];
+    }
+    f << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+SeriesCsv::SeriesCsv(const std::string& path) : out_(path) {
+  out_ << "series,t,value\n";
+}
+
+void SeriesCsv::add(const std::string& series, double t, double value) {
+  out_ << series << ',' << t << ',' << value << '\n';
+}
+
+}  // namespace idea

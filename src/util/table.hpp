@@ -1,0 +1,51 @@
+#pragma once
+/// \file table.hpp
+/// \brief Plain-text and CSV table rendering for the benchmark harnesses.
+///
+/// Every bench binary prints the rows the paper's table/figure reports, in a
+/// stable aligned format, and can optionally mirror them to a CSV file for
+/// plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace idea {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+  static std::string percent(double frac, int precision = 1);
+
+  /// Render with column alignment and a header underline.
+  [[nodiscard]] std::string render() const;
+
+  /// Write headers + rows as CSV.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writer for long-form series CSVs: one (series,t,value) triple per line.
+class SeriesCsv {
+ public:
+  explicit SeriesCsv(const std::string& path);
+  void add(const std::string& series, double t, double value);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace idea

@@ -1,0 +1,13 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace idea {
+
+std::string format_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_sec(t));
+  return buf;
+}
+
+}  // namespace idea

@@ -1,0 +1,21 @@
+#include "vv/tact_triple.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace idea::vv {
+
+TactTriple TactTriple::max_of(const TactTriple& a, const TactTriple& b) {
+  return TactTriple{std::max(a.numerical_error, b.numerical_error),
+                    std::max(a.order_error, b.order_error),
+                    std::max(a.staleness_sec, b.staleness_sec)};
+}
+
+std::string TactTriple::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "<num=%.3f, order=%.3f, stale=%.3fs>",
+                numerical_error, order_error, staleness_sec);
+  return buf;
+}
+
+}  // namespace idea::vv

@@ -1,0 +1,64 @@
+#pragma once
+/// \file tact_triple.hpp
+/// \brief The TACT-style <numerical error, order error, staleness> triple.
+///
+/// IDEA adopts TACT's three-dimensional inconsistency metric (§4.4): the
+/// numerical gap of application meta-data against a reference replica, the
+/// count of out-of-order / missing / extra updates, and how long the replica
+/// has been inconsistent.  The triple is carried inside the extended version
+/// vector and fed to the consistency-level formula.
+
+#include <string>
+
+#include "util/time.hpp"
+
+namespace idea::vv {
+
+struct TactTriple {
+  double numerical_error = 0.0;  ///< |meta(replica) - meta(reference)|
+  double order_error = 0.0;      ///< missing + extra updates vs reference
+  double staleness_sec = 0.0;    ///< seconds since last consistent point
+
+  [[nodiscard]] bool is_zero() const {
+    return numerical_error == 0.0 && order_error == 0.0 &&
+           staleness_sec == 0.0;
+  }
+
+  /// Component-wise maximum; used when folding multiple pairwise triples
+  /// into a worst-case view.
+  [[nodiscard]] static TactTriple max_of(const TactTriple& a,
+                                         const TactTriple& b);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TactTriple&, const TactTriple&) = default;
+};
+
+/// Per-metric maxima used to normalize the triple into [0,1] terms.  The
+/// paper's example sets all three to 10; applications calibrate them via
+/// `set_consistency_metric` (Table 1).
+struct TripleMaxima {
+  double numerical = 10.0;
+  double order = 10.0;
+  double staleness_sec = 10.0;
+
+  [[nodiscard]] bool valid() const {
+    return numerical > 0 && order > 0 && staleness_sec > 0;
+  }
+};
+
+/// Per-metric weights (Formula 1).  Need not sum to exactly 1; the formula
+/// normalizes, so "0.33/0.33/0.33" behaves as equal thirds like the paper's
+/// example.
+struct TripleWeights {
+  double numerical = 1.0 / 3.0;
+  double order = 1.0 / 3.0;
+  double staleness = 1.0 / 3.0;
+
+  [[nodiscard]] double sum() const { return numerical + order + staleness; }
+  [[nodiscard]] bool valid() const {
+    return numerical >= 0 && order >= 0 && staleness >= 0 && sum() > 0;
+  }
+};
+
+}  // namespace idea::vv

@@ -1,0 +1,86 @@
+#include "vv/version_vector.hpp"
+
+#include <algorithm>
+
+namespace idea::vv {
+
+std::uint64_t VersionVector::get(NodeId writer) const {
+  auto it = counts_.find(writer);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t VersionVector::increment(NodeId writer) {
+  return ++counts_[writer];
+}
+
+void VersionVector::set(NodeId writer, std::uint64_t count) {
+  if (count == 0) {
+    counts_.erase(writer);
+  } else {
+    counts_[writer] = count;
+  }
+}
+
+void VersionVector::merge(const VersionVector& other) {
+  for (const auto& [w, c] : other.counts_) {
+    auto& mine = counts_[w];
+    mine = std::max(mine, c);
+  }
+}
+
+Order VersionVector::compare(const VersionVector& a, const VersionVector& b) {
+  bool a_ahead = false;
+  bool b_ahead = false;
+  auto ia = a.counts_.begin();
+  auto ib = b.counts_.begin();
+  while (ia != a.counts_.end() || ib != b.counts_.end()) {
+    if (ib == b.counts_.end() ||
+        (ia != a.counts_.end() && ia->first < ib->first)) {
+      if (ia->second > 0) a_ahead = true;
+      ++ia;
+    } else if (ia == a.counts_.end() || ib->first < ia->first) {
+      if (ib->second > 0) b_ahead = true;
+      ++ib;
+    } else {
+      if (ia->second > ib->second) a_ahead = true;
+      if (ib->second > ia->second) b_ahead = true;
+      ++ia;
+      ++ib;
+    }
+    if (a_ahead && b_ahead) return Order::kConcurrent;
+  }
+  if (a_ahead) return Order::kAfter;
+  if (b_ahead) return Order::kBefore;
+  return Order::kEqual;
+}
+
+bool VersionVector::dominates(const VersionVector& other) const {
+  const Order o = compare(*this, other);
+  return o == Order::kAfter || o == Order::kEqual;
+}
+
+bool VersionVector::concurrent_with(const VersionVector& other) const {
+  return compare(*this, other) == Order::kConcurrent;
+}
+
+std::uint64_t VersionVector::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [w, c] : counts_) t += c;
+  return t;
+}
+
+std::string VersionVector::to_string() const {
+  std::string out = "(";
+  bool first = true;
+  for (const auto& [w, c] : counts_) {
+    if (!first) out += ' ';
+    first = false;
+    out += node_name(w);
+    out += ':';
+    out += std::to_string(c);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace idea::vv

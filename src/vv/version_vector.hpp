@@ -1,0 +1,72 @@
+#pragma once
+/// \file version_vector.hpp
+/// \brief Classic version vectors (Parker et al. [19]) — conflict detection.
+///
+/// A version vector maps each writer to the number of updates it has applied
+/// to a file.  Two replicas are consistent iff their vectors are equal; a
+/// replica strictly dominated by another can catch up by learning from it;
+/// incomparable vectors mean a true conflict that a resolution policy must
+/// arbitrate (IDEA §4.3, §4.5.1).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/ids.hpp"
+
+namespace idea::vv {
+
+/// Outcome of comparing two version vectors under the standard partial order.
+enum class Order {
+  kEqual,       ///< identical histories
+  kBefore,      ///< left is an ancestor of right (left < right)
+  kAfter,       ///< left dominates right (left > right)
+  kConcurrent,  ///< incomparable — a conflict
+};
+
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  /// Number of updates recorded for `writer` (0 if absent).
+  [[nodiscard]] std::uint64_t get(NodeId writer) const;
+
+  /// Record one more update by `writer`; returns the new count.
+  std::uint64_t increment(NodeId writer);
+
+  /// Force a specific count (used when deserializing / in tests).
+  void set(NodeId writer, std::uint64_t count);
+
+  /// Pointwise maximum — the least upper bound of the two histories.
+  void merge(const VersionVector& other);
+
+  /// Compare under the standard partial order.
+  [[nodiscard]] static Order compare(const VersionVector& a,
+                                     const VersionVector& b);
+
+  /// True iff every entry of `other` is <= the matching entry here.
+  [[nodiscard]] bool dominates(const VersionVector& other) const;
+
+  /// True iff compare(*this, other) == kConcurrent.
+  [[nodiscard]] bool concurrent_with(const VersionVector& other) const;
+
+  /// Sum of all counts = total updates known.
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Number of writers with a nonzero entry.
+  [[nodiscard]] std::size_t writer_count() const { return counts_.size(); }
+
+  [[nodiscard]] const std::map<NodeId, std::uint64_t>& entries() const {
+    return counts_;
+  }
+
+  /// "(A:3 B:5)" rendering used in traces, mirroring the paper's notation.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const VersionVector&, const VersionVector&) = default;
+
+ private:
+  std::map<NodeId, std::uint64_t> counts_;
+};
+
+}  // namespace idea::vv

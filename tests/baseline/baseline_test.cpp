@@ -1,0 +1,215 @@
+#include "baseline/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/sim_transport.hpp"
+
+namespace idea::baseline {
+namespace {
+
+template <typename NodeT>
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static constexpr FileId kFile = 1;
+
+  template <typename... Args>
+  void Build(std::uint32_t nodes, Args&&... args) {
+    transport_ = std::make_unique<net::SimTransport>(sim_, latency_);
+    for (NodeId n = 0; n < nodes; ++n) {
+      nodes_.push_back(std::make_unique<NodeT>(n, kFile, *transport_,
+                                               args...));
+      transport_->attach(n, nodes_.back().get());
+      nodes_.back()->start();
+    }
+  }
+
+  [[nodiscard]] bool converged() const {
+    const auto digest = nodes_[0]->store().content_digest();
+    for (const auto& n : nodes_) {
+      if (n->store().content_digest() != digest) return false;
+    }
+    return true;
+  }
+
+  sim::Simulator sim_;
+  sim::ConstantLatency latency_{msec(25)};
+  std::unique_ptr<net::SimTransport> transport_;
+  std::vector<std::unique_ptr<NodeT>> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Optimistic
+// ---------------------------------------------------------------------------
+
+class OptimisticTest : public BaselineFixture<OptimisticNode> {
+ protected:
+  void SetUp() override {
+    OptimisticParams p;
+    p.nodes = 6;
+    p.anti_entropy_period = sec(5);
+    std::uint64_t seed = 100;
+    transport_ = std::make_unique<net::SimTransport>(sim_, latency_);
+    for (NodeId n = 0; n < 6; ++n) {
+      nodes_.push_back(std::make_unique<OptimisticNode>(
+          n, kFile, *transport_, p, seed + n));
+      transport_->attach(n, nodes_.back().get());
+      nodes_.back()->start();
+    }
+  }
+};
+
+TEST_F(OptimisticTest, WriteCommitsImmediately) {
+  bool done = false;
+  nodes_[0]->write("a", 1.0, [&] { done = true; });
+  EXPECT_TRUE(done);  // optimistic: local commit
+  EXPECT_EQ(nodes_[0]->store().update_count(), 1u);
+}
+
+TEST_F(OptimisticTest, AntiEntropyEventuallyConverges) {
+  nodes_[0]->write("a", 1.0, nullptr);
+  nodes_[3]->write("b", 2.0, nullptr);
+  nodes_[5]->write("c", 3.0, nullptr);
+  EXPECT_FALSE(converged());
+  sim_.run_until(sec(180));
+  EXPECT_TRUE(converged());
+  EXPECT_EQ(nodes_[1]->store().update_count(), 3u);
+}
+
+TEST_F(OptimisticTest, SessionsAreCheapWhenQuiescent) {
+  sim_.run_until(sec(60));
+  const auto msgs_idle = transport_->counters().total_messages();
+  // Idle sessions: request + (possibly empty) push per period per node.
+  // 6 nodes * 12 periods * <= 2 messages.
+  EXPECT_LE(msgs_idle, 6u * 12u * 2u + 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Strong
+// ---------------------------------------------------------------------------
+
+class StrongTest : public BaselineFixture<StrongNode> {
+ protected:
+  void SetUp() override {
+    StrongParams p;
+    p.nodes = 5;
+    p.primary = 0;
+    Build(5, p);
+  }
+};
+
+TEST_F(StrongTest, WriteAtPrimaryReplicatesEverywhere) {
+  bool done = false;
+  SimTime committed_at = 0;
+  nodes_[0]->write("a", 1.0, [&] {
+    done = true;
+    committed_at = sim_.now();
+  });
+  sim_.run_until(sec(5));
+  EXPECT_TRUE(done);
+  // Full fan-out: one RTT to the slowest replica.
+  EXPECT_EQ(committed_at, msec(50));
+  for (const auto& n : nodes_) {
+    EXPECT_EQ(n->store().update_count(), 1u);
+  }
+}
+
+TEST_F(StrongTest, WriteAtReplicaRoutesThroughPrimary) {
+  bool done = false;
+  SimTime committed_at = 0;
+  nodes_[3]->write("b", 1.0, [&] {
+    done = true;
+    committed_at = sim_.now();
+  });
+  sim_.run_until(sec(5));
+  EXPECT_TRUE(done);
+  // submit (25) + replicate (25) + ack (25) + committed (25) = 100 ms.
+  EXPECT_EQ(committed_at, msec(100));
+  EXPECT_TRUE(converged());
+}
+
+TEST_F(StrongTest, PrimarySequencesConcurrentWrites) {
+  for (NodeId n = 0; n < 5; ++n) {
+    nodes_[n]->write("w" + std::to_string(n), 1.0, nullptr);
+  }
+  sim_.run_until(sec(10));
+  EXPECT_TRUE(converged());
+  // All updates carry the primary as the single writer: never concurrent.
+  const auto counts = nodes_[0]->store().evv().counts();
+  EXPECT_EQ(counts.writer_count(), 1u);
+  EXPECT_EQ(counts.get(0), 5u);
+}
+
+TEST_F(StrongTest, ConsistencyNeverViolated) {
+  // At any quiescent point replicas are identical (strong consistency).
+  nodes_[1]->write("x", 1.0, nullptr);
+  sim_.run_until(sec(5));
+  EXPECT_TRUE(converged());
+  nodes_[4]->write("y", 1.0, nullptr);
+  sim_.run_until(sec(10));
+  EXPECT_TRUE(converged());
+}
+
+// ---------------------------------------------------------------------------
+// TACT
+// ---------------------------------------------------------------------------
+
+class TactTest : public BaselineFixture<TactNode> {
+ protected:
+  void SetUp() override {
+    TactParams p;
+    p.nodes = 4;
+    p.order_bound = 3;
+    p.staleness_bound = sec(15);
+    p.check_period = sec(1);
+    Build(4, p);
+  }
+};
+
+TEST_F(TactTest, OrderBoundForcesPush) {
+  // Two writes stay local (bound 3); the third forces a push everywhere.
+  nodes_[0]->write("1", 1.0, nullptr);
+  nodes_[0]->write("2", 1.0, nullptr);
+  sim_.run_until(sec(2));
+  EXPECT_EQ(nodes_[1]->store().update_count(), 0u);
+  nodes_[0]->write("3", 1.0, nullptr);
+  sim_.run_until(sec(4));
+  for (const auto& n : nodes_) {
+    EXPECT_EQ(n->store().update_count(), 3u);
+  }
+}
+
+TEST_F(TactTest, StalenessBoundForcesPush) {
+  nodes_[2]->write("lonely", 1.0, nullptr);
+  sim_.run_until(sec(10));
+  EXPECT_EQ(nodes_[0]->store().update_count(), 0u);  // within bound
+  sim_.run_until(sec(20));
+  EXPECT_EQ(nodes_[0]->store().update_count(), 1u);  // bound expired
+}
+
+TEST_F(TactTest, BoundedInconsistencyInvariant) {
+  // At every instant, no peer is more than order_bound-1 updates behind
+  // any single writer (after push propagation delay).
+  for (int i = 0; i < 12; ++i) {
+    nodes_[0]->write("u" + std::to_string(i), 1.0, nullptr);
+    sim_.run_until(sim_.now() + sec(2));
+    for (NodeId peer = 1; peer < 4; ++peer) {
+      const auto behind =
+          nodes_[0]->store().local_seq() -
+          nodes_[peer]->store().evv().count_of(0);
+      EXPECT_LE(behind, 3u);
+    }
+  }
+}
+
+TEST_F(TactTest, EventualConvergenceViaStaleness) {
+  nodes_[0]->write("a", 1.0, nullptr);
+  nodes_[1]->write("b", 1.0, nullptr);
+  nodes_[3]->write("c", 1.0, nullptr);
+  sim_.run_until(sec(60));
+  EXPECT_TRUE(converged());
+}
+
+}  // namespace
+}  // namespace idea::baseline

@@ -1,0 +1,244 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::core {
+namespace {
+
+struct Harness {
+  int demands = 0;
+  SimDuration last_period = 0;
+  int period_sets = 0;
+
+  AdaptiveController make(ControllerConfig cfg) {
+    return AdaptiveController(
+        cfg, [this] { ++demands; },
+        [this](SimDuration p) {
+          last_period = p;
+          ++period_sets;
+        });
+  }
+};
+
+TEST(Controller, HintModeDemandsBelowHint) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kHintBased;
+  cfg.hint = 0.95;
+  auto c = h.make(cfg);
+  c.observe_level(0.97, sec(1));
+  EXPECT_EQ(h.demands, 0);
+  c.observe_level(0.94, sec(2));
+  EXPECT_EQ(h.demands, 1);
+}
+
+TEST(Controller, CooldownSuppressesBurst) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kHintBased;
+  cfg.hint = 0.95;
+  cfg.demand_cooldown = sec(5);
+  auto c = h.make(cfg);
+  c.observe_level(0.90, sec(10));
+  c.observe_level(0.89, sec(11));
+  c.observe_level(0.88, sec(12));
+  EXPECT_EQ(h.demands, 1);
+  c.observe_level(0.88, sec(16));
+  EXPECT_EQ(h.demands, 2);
+}
+
+TEST(Controller, OnDemandModeIgnoresLevels) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kOnDemand;
+  cfg.hint = 0.95;
+  auto c = h.make(cfg);
+  c.observe_level(0.2, sec(1));
+  EXPECT_EQ(h.demands, 0);
+}
+
+TEST(Controller, ZeroHintDisablesHintControl) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kHintBased;
+  cfg.hint = 0.0;  // Table 1: "not a hint-based system"
+  auto c = h.make(cfg);
+  c.observe_level(0.1, sec(1));
+  EXPECT_EQ(h.demands, 0);
+}
+
+TEST(Controller, UserUnsatisfiedLearnsHigherLevel) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kOnDemand;
+  cfg.hint = 0.90;
+  cfg.hint_delta = 0.02;
+  auto c = h.make(cfg);
+  c.user_unsatisfied(sec(1));
+  EXPECT_EQ(h.demands, 1);
+  EXPECT_NEAR(c.hint(), 0.92, 1e-12);  // L1 + delta
+  c.user_unsatisfied(sec(10));
+  EXPECT_NEAR(c.hint(), 0.94, 1e-12);
+}
+
+TEST(Controller, HintCapsAtOne) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.hint = 0.99;
+  cfg.hint_delta = 0.05;
+  auto c = h.make(cfg);
+  c.user_unsatisfied(sec(1));
+  EXPECT_DOUBLE_EQ(c.hint(), 1.0);
+}
+
+TEST(Controller, SetHintClamped) {
+  Harness h;
+  auto c = h.make(ControllerConfig{});
+  c.set_hint(1.5);
+  EXPECT_DOUBLE_EQ(c.hint(), 1.0);
+  c.set_hint(-0.5);
+  EXPECT_DOUBLE_EQ(c.hint(), 0.0);
+  c.set_hint(0.85);
+  EXPECT_DOUBLE_EQ(c.hint(), 0.85);
+}
+
+TEST(Controller, RehintTakesEffectImmediately) {
+  // Figure 8: hint 95% for the first half, 90% after.
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kHintBased;
+  cfg.hint = 0.95;
+  auto c = h.make(cfg);
+  c.observe_level(0.93, sec(1));
+  EXPECT_EQ(h.demands, 1);
+  c.set_hint(0.90);
+  c.observe_level(0.93, sec(10));
+  EXPECT_EQ(h.demands, 1);  // 0.93 >= 0.90: acceptable now
+  c.observe_level(0.89, sec(20));
+  EXPECT_EQ(h.demands, 2);
+}
+
+TEST(Controller, Formula4Frequency) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  cfg.bandwidth_cap_fraction = 0.2;
+  cfg.available_bandwidth = 100'000;  // bytes/sec
+  auto c = h.make(cfg);
+  c.observe_round_cost(40'000);  // c bytes per round
+  const double freq = c.adjust_frequency();
+  // optimal = 100000 * 0.2 / 40000 = 0.5 Hz -> period 2 s.
+  EXPECT_NEAR(freq, 0.5, 1e-9);
+  EXPECT_EQ(h.last_period, sec(2));
+}
+
+TEST(Controller, Formula4TracksBandwidthChanges) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  cfg.bandwidth_cap_fraction = 0.2;
+  cfg.available_bandwidth = 100'000;
+  auto c = h.make(cfg);
+  c.observe_round_cost(40'000);
+  c.adjust_frequency();
+  c.observe_bandwidth(50'000);  // load spike halves available bandwidth
+  EXPECT_NEAR(c.adjust_frequency(), 0.25, 1e-9);
+}
+
+TEST(Controller, OversellRaisesLowerBound) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  cfg.available_bandwidth = 1000;  // tiny: formula wants a low frequency
+  cfg.bound_step = 1.5;
+  auto c = h.make(cfg);
+  c.observe_round_cost(100'000);
+  const double before = c.adjust_frequency();
+  c.notify_oversell();
+  const double after = c.adjust_frequency();
+  EXPECT_GT(after, before);
+  EXPECT_GE(c.learned_min_freq(), before);
+}
+
+TEST(Controller, UndersellLowersUpperBound) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  cfg.available_bandwidth = 1'000'000'000;  // formula wants a huge frequency
+  cfg.bound_step = 1.5;
+  auto c = h.make(cfg);
+  c.observe_round_cost(100);
+  const double before = c.adjust_frequency();
+  c.notify_undersell();
+  const double after = c.adjust_frequency();
+  EXPECT_LT(after, before);
+  EXPECT_LE(c.learned_max_freq(), before);
+}
+
+TEST(Controller, BoundsLearnOverTime) {
+  // §5.2: over time IDEA learns the [min, max] frequency window.
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  auto c = h.make(cfg);
+  c.observe_round_cost(10'000);
+  const double min0 = c.learned_min_freq();
+  const double max0 = c.learned_max_freq();
+  for (int i = 0; i < 3; ++i) {
+    c.adjust_frequency();
+    c.notify_oversell();
+  }
+  EXPECT_GT(c.learned_min_freq(), min0);
+  for (int i = 0; i < 3; ++i) {
+    c.adjust_frequency();
+    c.notify_undersell();
+  }
+  EXPECT_LT(c.learned_max_freq(), max0);
+}
+
+TEST(Controller, FrequencyClampedToAbsoluteLimits) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  cfg.min_freq_hz = 0.01;
+  cfg.max_freq_hz = 1.0;
+  auto c = h.make(cfg);
+  c.observe_round_cost(1.0);  // near-free rounds: formula explodes
+  EXPECT_DOUBLE_EQ(c.adjust_frequency(), 1.0);
+  c.observe_round_cost(1e12);  // absurdly costly rounds
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  c.observe_round_cost(1e12);
+  EXPECT_GE(c.adjust_frequency(), 0.01);
+}
+
+TEST(Controller, NoAdjustmentWithoutCostObservation) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kFullyAutomatic;
+  auto c = h.make(cfg);
+  const double before = c.current_freq_hz();
+  EXPECT_DOUBLE_EQ(c.adjust_frequency(), before);
+}
+
+TEST(Controller, DemandCounter) {
+  Harness h;
+  ControllerConfig cfg;
+  cfg.mode = AdaptiveMode::kHintBased;
+  cfg.hint = 0.9;
+  cfg.demand_cooldown = 0;
+  auto c = h.make(cfg);
+  c.observe_level(0.5, sec(1));
+  c.observe_level(0.5, sec(2));
+  EXPECT_EQ(c.demands_issued(), 2u);
+  EXPECT_EQ(h.demands, 2);
+}
+
+}  // namespace
+}  // namespace idea::core

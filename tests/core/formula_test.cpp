@@ -1,0 +1,114 @@
+#include "core/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::core {
+namespace {
+
+using vv::TactTriple;
+using vv::TripleMaxima;
+using vv::TripleWeights;
+
+TEST(Formula, PerfectConsistencyIsOne) {
+  EXPECT_DOUBLE_EQ(
+      consistency_level(TactTriple{}, TripleWeights{}, TripleMaxima{}), 1.0);
+}
+
+TEST(Formula, MaxErrorsGiveZero) {
+  const TripleMaxima m{10, 10, 10};
+  EXPECT_DOUBLE_EQ(
+      consistency_level(TactTriple{10, 10, 10}, TripleWeights{}, m), 0.0);
+}
+
+TEST(Formula, PaperExampleEqualWeights) {
+  // §4.4.1: errors <3, 2, 2> with maxima 10 and equal weights:
+  // level = ((7/10) + (8/10) + (8/10)) / 3.
+  const TripleMaxima m{10, 10, 10};
+  const double level =
+      consistency_level(TactTriple{3, 2, 2}, TripleWeights{}, m);
+  EXPECT_NEAR(level, (0.7 + 0.8 + 0.8) / 3.0, 1e-12);
+}
+
+TEST(Formula, ErrorsClampAtMaximum) {
+  const TripleMaxima m{10, 10, 10};
+  const double level =
+      consistency_level(TactTriple{100, 100, 100}, TripleWeights{}, m);
+  EXPECT_DOUBLE_EQ(level, 0.0);
+}
+
+TEST(Formula, NegativeErrorsClampAtZero) {
+  const TripleMaxima m{10, 10, 10};
+  const double level =
+      consistency_level(TactTriple{-5, 0, 0}, TripleWeights{}, m);
+  EXPECT_DOUBLE_EQ(level, 1.0);
+}
+
+TEST(Formula, ZeroWeightIgnoresMetric) {
+  // weight<0.4, 0, 0.6> marks order error as irrelevant (Table 1 example).
+  const TripleMaxima m{10, 10, 10};
+  const TripleWeights w{0.4, 0.0, 0.6};
+  const double with_huge_order =
+      consistency_level(TactTriple{0, 10, 0}, w, m);
+  EXPECT_DOUBLE_EQ(with_huge_order, 1.0);
+}
+
+TEST(Formula, WeightsNormalized) {
+  // Weights <2,2,2> must behave exactly like <1/3,1/3,1/3>.
+  const TripleMaxima m{10, 10, 10};
+  const TactTriple t{5, 5, 5};
+  EXPECT_DOUBLE_EQ(consistency_level(t, TripleWeights{2, 2, 2}, m),
+                   consistency_level(t, TripleWeights{}, m));
+}
+
+TEST(Formula, MonotoneInEachError) {
+  const TripleMaxima m{10, 10, 10};
+  const TripleWeights w{};
+  double prev = 1.1;
+  for (double e = 0; e <= 10; e += 1) {
+    const double level = consistency_level(TactTriple{e, 0, 0}, w, m);
+    EXPECT_LT(level, prev);
+    prev = level;
+  }
+}
+
+TEST(Formula, HigherWeightAmplifiesMetric) {
+  const TripleMaxima m{10, 10, 10};
+  const TactTriple t{0, 5, 0};  // only order error
+  const double low_w = consistency_level(t, TripleWeights{0.45, 0.1, 0.45}, m);
+  const double high_w = consistency_level(t, TripleWeights{0.15, 0.7, 0.15}, m);
+  EXPECT_GT(low_w, high_w);
+}
+
+TEST(Formula, InverseHelperRoundTrips) {
+  const TripleMaxima m{10, 10, 10};
+  const double err = max_uniform_error_for_level(0.9, m);
+  const double level =
+      consistency_level(TactTriple{err, err, err}, TripleWeights{}, m);
+  EXPECT_NEAR(level, 0.9, 1e-9);
+}
+
+// Property sweep: level always lands in [0,1] over a parameter grid.
+class FormulaBounds
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(FormulaBounds, AlwaysInUnitInterval) {
+  const auto [num, order, stale] = GetParam();
+  const TripleMaxima m{7, 13, 29};
+  for (const TripleWeights& w :
+       {TripleWeights{}, TripleWeights{0.7, 0.2, 0.1},
+        TripleWeights{0, 0.5, 0.5}, TripleWeights{1, 0, 0}}) {
+    const double level =
+        consistency_level(TactTriple{num, order, stale}, w, m);
+    EXPECT_GE(level, 0.0);
+    EXPECT_LE(level, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FormulaBounds,
+    ::testing::Combine(::testing::Values(0.0, 3.0, 7.0, 50.0),
+                       ::testing::Values(0.0, 6.5, 13.0, 100.0),
+                       ::testing::Values(0.0, 14.5, 29.0, 1000.0)));
+
+}  // namespace
+}  // namespace idea::core

@@ -1,0 +1,198 @@
+#include "core/idea_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace idea::core {
+namespace {
+
+ClusterConfig small_cluster(std::uint32_t nodes = 8) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.sync_sizes();
+  cfg.idea.ransub.epoch = sec(3);
+  return cfg;
+}
+
+TEST(IdeaNode, WriteAppliesLocally) {
+  IdeaCluster cluster(small_cluster());
+  cluster.start();
+  EXPECT_TRUE(cluster.node(2).write("hello", 1.5));
+  EXPECT_EQ(cluster.node(2).store().update_count(), 1u);
+  EXPECT_DOUBLE_EQ(cluster.node(2).store().meta_value(), 1.5);
+}
+
+TEST(IdeaNode, ReadReturnsCanonicalOrder) {
+  IdeaCluster cluster(small_cluster());
+  cluster.start();
+  cluster.node(2).write("first", 1.0);
+  cluster.run_for(sec(1));
+  cluster.node(2).write("second", 1.0);
+  const auto contents = cluster.node(2).read();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0].content, "first");
+  EXPECT_EQ(contents[1].content, "second");
+}
+
+TEST(IdeaNode, Table1ApiRoundTrip) {
+  IdeaCluster cluster(small_cluster());
+  cluster.start();
+  IdeaNode& n = cluster.node(0);
+  n.set_consistency_metric(20, 30, 40);
+  EXPECT_DOUBLE_EQ(n.config().maxima.numerical, 20);
+  EXPECT_DOUBLE_EQ(n.config().maxima.order, 30);
+  EXPECT_DOUBLE_EQ(n.config().maxima.staleness_sec, 40);
+  n.set_weight(0.5, 0.2, 0.3);
+  EXPECT_DOUBLE_EQ(n.config().weights.numerical, 0.5);
+  n.set_resolution(3);
+  EXPECT_EQ(n.config().resolution.policy.policy,
+            ResolutionPolicy::kPriority);
+  n.set_hint(0.85);
+  EXPECT_DOUBLE_EQ(n.controller().hint(), 0.85);
+}
+
+TEST(IdeaNode, TopLayerFormsFromWrites) {
+  IdeaCluster cluster(small_cluster());
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  const auto tl_1 = cluster.node(1).top_layer();
+  const auto tl_7 = cluster.node(7).top_layer();  // non-writer's view
+  EXPECT_EQ(tl_1, (std::vector<NodeId>{1, 5}));
+  EXPECT_EQ(tl_7, (std::vector<NodeId>{1, 5}));
+}
+
+TEST(IdeaNode, LevelDropsOnConflictAndListenerFires) {
+  IdeaCluster cluster(small_cluster());
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  int samples = 0;
+  double min_level = 1.0;
+  cluster.node(1).set_level_listener([&](const LevelSample& s) {
+    ++samples;
+    min_level = std::min(min_level, s.level);
+  });
+  cluster.node(1).write("a", 3.0);
+  cluster.node(5).write("b", 4.0);
+  cluster.run_for(sec(3));
+  EXPECT_GT(samples, 0);
+  EXPECT_LT(min_level, 1.0);
+}
+
+TEST(IdeaNode, DemandActiveResolutionConverges) {
+  ClusterConfig cfg = small_cluster();
+  cfg.idea.controller.mode = AdaptiveMode::kOnDemand;
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  cluster.node(1).write("a", 3.0);
+  cluster.node(5).write("b", 4.0);
+  cluster.run_for(sec(2));
+  EXPECT_TRUE(cluster.node(1).demand_active_resolution());
+  cluster.run_for(sec(5));
+  EXPECT_TRUE(cluster.converged({1, 5}));
+  EXPECT_DOUBLE_EQ(cluster.node(1).current_level(), 1.0);
+}
+
+TEST(IdeaNode, HintModeResolvesAutomatically) {
+  ClusterConfig cfg = small_cluster();
+  cfg.idea.controller.mode = AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.95;
+  cfg.idea.maxima = vv::TripleMaxima{10, 10, 10};
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  cluster.node(1).write("a", 3.0);
+  cluster.node(5).write("b", 9.0);
+  cluster.run_for(sec(10));
+  // No user intervention: the hint controller resolved the conflict.
+  EXPECT_TRUE(cluster.converged({1, 5}));
+}
+
+TEST(IdeaNode, WritesBlockedDuringResolutionAreCounted) {
+  ClusterConfig cfg = small_cluster();
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  cluster.node(1).write("a", 1.0);
+  cluster.node(5).write("b", 1.0);
+  cluster.run_for(sec(2));
+  cluster.node(1).demand_active_resolution();
+  // Try to write mid-round: run a tiny slice so the round is in phase 2.
+  cluster.run_for(msec(400));
+  const bool accepted = cluster.node(1).write("blocked?", 1.0);
+  if (!accepted) {
+    EXPECT_GE(cluster.node(1).blocked_writes(), 1u);
+  }
+  cluster.run_for(sec(5));
+  EXPECT_FALSE(cluster.node(1).resolution().busy());
+}
+
+TEST(IdeaNode, UserUnsatisfiedRaisesHintAndResolves) {
+  ClusterConfig cfg = small_cluster();
+  cfg.idea.controller.mode = AdaptiveMode::kOnDemand;
+  cfg.idea.controller.hint = 0.9;
+  cfg.idea.controller.hint_delta = 0.02;
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  cluster.node(1).write("a", 2.0);
+  cluster.node(5).write("b", 5.0);
+  cluster.run_for(sec(2));
+  cluster.node(1).user_unsatisfied();
+  EXPECT_NEAR(cluster.node(1).controller().hint(), 0.92, 1e-12);
+  cluster.run_for(sec(5));
+  EXPECT_TRUE(cluster.converged({1, 5}));
+}
+
+TEST(IdeaNode, SetBackgroundFreqArmsPeriodicResolution) {
+  ClusterConfig cfg = small_cluster();
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  std::uint64_t rounds_seen = 0;
+  cluster.node(1).set_round_listener(
+      [&](const RoundStats& s) { rounds_seen += s.succeeded ? 1 : 0; });
+  cluster.node(1).set_background_freq(0.2);  // every 5 s
+  cluster.node(1).write("a", 1.0);
+  cluster.node(5).write("b", 1.0);
+  cluster.run_for(sec(21));
+  EXPECT_GE(rounds_seen, 3u);
+  EXPECT_TRUE(cluster.converged({1, 5}));
+  // Stop: counter freezes.
+  cluster.node(1).set_background_freq(0.0);
+  const auto frozen = rounds_seen;
+  cluster.run_for(sec(20));
+  EXPECT_EQ(rounds_seen, frozen);
+}
+
+TEST(IdeaNode, OnlyDesignatedInitiatorRunsBackground) {
+  ClusterConfig cfg = small_cluster();
+  cfg.idea.background_period = sec(5);
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  cluster.node(1).write("a", 1.0);
+  cluster.node(5).write("b", 1.0);
+  cluster.run_for(sec(20));
+  // Node 1 is the lowest-id top-layer member: the designated initiator.
+  EXPECT_GT(cluster.node(1).resolution().rounds_initiated(), 0u);
+  EXPECT_EQ(cluster.node(5).resolution().rounds_initiated(), 0u);
+}
+
+TEST(IdeaNode, ProbeCallbackDeliversResult) {
+  IdeaCluster cluster(small_cluster());
+  cluster.start();
+  cluster.warm_up({1, 5}, sec(20));
+  cluster.node(5).write("x", 2.0);
+  bool got = false;
+  cluster.node(1).probe([&](const detect::DetectionResult& r) {
+    got = true;
+    EXPECT_TRUE(r.conflict);
+  });
+  cluster.run_for(sec(3));
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace idea::core

@@ -1,0 +1,273 @@
+#include "core/resolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/dispatcher.hpp"
+#include "net/sim_transport.hpp"
+
+namespace idea::core {
+namespace {
+
+// Resolution managers over bare stores with a fixed top layer.
+class ResolutionFixture : public ::testing::Test {
+ protected:
+  static constexpr FileId kFile = 1;
+
+  void Build(std::uint32_t nodes, ResolutionConfig config = {}) {
+    nodes_ = nodes;
+    top_layer_.clear();
+    for (NodeId n = 0; n < nodes; ++n) top_layer_.push_back(n);
+    config.policy.deployment_seed = 2007;
+    transport_ = std::make_unique<net::SimTransport>(sim_, latency_);
+    for (NodeId n = 0; n < nodes; ++n) {
+      stores_.push_back(std::make_unique<replica::ReplicaStore>(n, kFile));
+      dispatchers_.push_back(std::make_unique<net::Dispatcher>());
+      managers_.push_back(std::make_unique<ResolutionManager>(
+          n, kFile, *transport_, *stores_[n], [this] { return top_layer_; },
+          config, 700 + n));
+      dispatchers_[n]->route("resolve.", managers_[n].get());
+      transport_->attach(n, dispatchers_[n].get());
+    }
+  }
+
+  void diverge() {
+    // Each node writes one private update: pairwise concurrent histories.
+    for (NodeId n = 0; n < nodes_; ++n) {
+      stores_[n]->apply_local(sec(1) + msec(n), "u" + std::to_string(n),
+                              1.0 + n);
+    }
+  }
+
+  [[nodiscard]] bool converged() const {
+    const auto digest = stores_[0]->content_digest();
+    for (const auto& s : stores_) {
+      if (s->content_digest() != digest) return false;
+    }
+    return true;
+  }
+
+  sim::Simulator sim_;
+  sim::ConstantLatency latency_{msec(25)};
+  std::unique_ptr<net::SimTransport> transport_;
+  std::uint32_t nodes_ = 0;
+  std::vector<NodeId> top_layer_;
+  std::vector<std::unique_ptr<replica::ReplicaStore>> stores_;
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<ResolutionManager>> managers_;
+};
+
+TEST_F(ResolutionFixture, BackgroundRoundConverges) {
+  Build(4);
+  diverge();
+  EXPECT_FALSE(converged());
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  EXPECT_TRUE(managers_[0]->start_background());
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_FALSE(stats.active);
+  EXPECT_EQ(stats.participants, 4u);
+  EXPECT_TRUE(converged());
+  // Every replica ends with all four updates known.
+  for (const auto& s : stores_) {
+    EXPECT_EQ(s->evv().total_updates(), 4u);
+  }
+}
+
+TEST_F(ResolutionFixture, ActiveRoundConverges) {
+  Build(4);
+  diverge();
+  RoundStats stats;
+  managers_[2]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  EXPECT_TRUE(managers_[2]->start_active());
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_TRUE(stats.active);
+  EXPECT_EQ(stats.backoffs, 0);
+  EXPECT_TRUE(converged());
+}
+
+TEST_F(ResolutionFixture, UserIdPolicyInvalidatesLosers) {
+  ResolutionConfig cfg;
+  cfg.policy.policy = ResolutionPolicy::kUserId;
+  Build(3, cfg);
+  diverge();
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(converged());
+  // Exactly one of the three concurrent updates survives (the winner's);
+  // the two losers are invalidated everywhere.
+  std::size_t live = 0;
+  for (const auto& u : stores_[0]->ordered_contents()) {
+    if (!u.invalidated) ++live;
+  }
+  EXPECT_EQ(live, 1u);
+}
+
+TEST_F(ResolutionFixture, InvalidateBothClearsConflictWindow) {
+  ResolutionConfig cfg;
+  cfg.policy.policy = ResolutionPolicy::kInvalidateBoth;
+  Build(3, cfg);
+  diverge();
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(converged());
+  // All concurrent updates are cleared (no survivor favoritism).
+  for (const auto& u : stores_[0]->ordered_contents()) {
+    EXPECT_TRUE(u.invalidated);
+  }
+}
+
+TEST_F(ResolutionFixture, PriorityPolicyWinnerSurvives) {
+  ResolutionConfig cfg;
+  cfg.policy.policy = ResolutionPolicy::kPriority;
+  cfg.policy.priorities = {{1, 10}};
+  Build(3, cfg);
+  diverge();
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(converged());
+  for (const auto& u : stores_[0]->ordered_contents()) {
+    EXPECT_EQ(!u.invalidated, u.key.writer == 1u)
+        << "only the priority winner's update survives";
+  }
+}
+
+TEST_F(ResolutionFixture, ComparableHistoriesJustCatchUp) {
+  Build(2);
+  // Node 0 is simply ahead; no conflict, nothing to invalidate.
+  stores_[0]->apply_local(sec(1), "a", 1.0);
+  stores_[0]->apply_local(sec(2), "b", 1.0);
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(converged());
+  for (const auto& u : stores_[1]->ordered_contents()) {
+    EXPECT_FALSE(u.invalidated);
+  }
+}
+
+TEST_F(ResolutionFixture, SequentialCollectTimingLinear) {
+  ResolutionConfig cfg;
+  cfg.collect_processing = msec(8);
+  Build(4, cfg);
+  diverge();
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  // Sequential phase 2 over 3 peers: each costs RTT (50 ms) + processing
+  // (8 ms) = 58 ms, so ~174 ms total.
+  EXPECT_EQ(stats.phase2_collect, 3 * (msec(50) + msec(8)));
+}
+
+TEST_F(ResolutionFixture, ParallelCollectFasterThanSequential) {
+  ResolutionConfig seq_cfg, par_cfg;
+  par_cfg.parallel_collect = true;
+  Build(4, par_cfg);
+  diverge();
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(stats.succeeded);
+  // Parallel phase 2 ~ one RTT + processing, far below 3x.
+  EXPECT_LE(stats.phase2_collect, msec(50) + msec(8) + msec(1));
+  EXPECT_TRUE(converged());
+}
+
+TEST_F(ResolutionFixture, ActivePhase1TimingRecorded) {
+  Build(4);
+  diverge();
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  managers_[0]->start_active();
+  sim_.run_until(sec(30));
+  // Dispatch cost: 3 peers x cpu_per_send (150 us) = 0.45 ms — the Table 2
+  // "Phase 1" quantity.
+  EXPECT_EQ(stats.phase1_dispatch, 3 * usec(150));
+  // Ack wait: one RTT with constant latency.
+  EXPECT_EQ(stats.phase1_total, msec(50));
+}
+
+TEST_F(ResolutionFixture, CompetingInitiatorsBothEventuallyResolve) {
+  Build(4);
+  diverge();
+  int succeeded = 0, suppressed = 0;
+  for (NodeId n : {0u, 3u}) {
+    managers_[n]->set_round_callback([&](const RoundStats& s) {
+      if (s.succeeded) ++succeeded;
+      if (s.suppressed) ++suppressed;
+    });
+  }
+  EXPECT_TRUE(managers_[0]->start_active());
+  EXPECT_TRUE(managers_[3]->start_active());
+  sim_.run_until(sec(60));
+  // At least one round succeeds; the system converges regardless of who won.
+  EXPECT_GE(succeeded, 1);
+  EXPECT_TRUE(converged());
+}
+
+TEST_F(ResolutionFixture, StartRejectedWhileRunning) {
+  Build(4);
+  diverge();
+  EXPECT_TRUE(managers_[0]->start_active());
+  EXPECT_FALSE(managers_[0]->start_active());
+  EXPECT_FALSE(managers_[0]->start_background());
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(managers_[0]->start_background());  // idle again
+}
+
+TEST_F(ResolutionFixture, BusyDuringRound) {
+  Build(4);
+  diverge();
+  managers_[0]->start_background();
+  // Step a little into the round: initiator must report busy.
+  sim_.run_until(msec(80));
+  EXPECT_TRUE(managers_[0]->busy());
+  sim_.run_until(sec(30));
+  EXPECT_FALSE(managers_[0]->busy());
+  for (const auto& m : managers_) EXPECT_FALSE(m->busy());
+}
+
+TEST_F(ResolutionFixture, DeadMemberSkippedByTimeout) {
+  ResolutionConfig cfg;
+  cfg.collect_timeout = msec(600);
+  Build(4, cfg);
+  diverge();
+  transport_->detach(2);
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  EXPECT_TRUE(stats.succeeded);
+  // The three live members converge.
+  EXPECT_EQ(stores_[0]->content_digest(), stores_[1]->content_digest());
+  EXPECT_EQ(stores_[0]->content_digest(), stores_[3]->content_digest());
+}
+
+TEST_F(ResolutionFixture, EmptyTopLayerTrivialSuccess) {
+  Build(1);
+  top_layer_ = {0};
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  EXPECT_TRUE(managers_[0]->start_background());
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.participants, 1u);
+}
+
+TEST_F(ResolutionFixture, StatsCountShippedUpdates) {
+  Build(3);
+  diverge();
+  RoundStats stats;
+  managers_[0]->set_round_callback([&](const RoundStats& s) { stats = s; });
+  managers_[0]->start_background();
+  sim_.run_until(sec(30));
+  // Each of the 2 peers misses exactly 2 updates at commit time.
+  EXPECT_EQ(stats.updates_shipped, 4u);
+  EXPECT_EQ(stats.invalidated, 2u);  // kUserId default: two losers
+}
+
+}  // namespace
+}  // namespace idea::core

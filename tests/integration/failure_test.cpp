@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace idea::core {
+namespace {
+
+// Failure injection: dead nodes, heavy loss, partitions-by-loss.  The
+// middleware must degrade gracefully, never deadlock the write path.
+
+TEST(Failure, WriterCrashMidWorkload) {
+  ClusterConfig cfg;
+  cfg.nodes = 12;
+  cfg.sync_sizes();
+  cfg.idea.controller.mode = AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.9;
+  cfg.idea.maxima = vv::TripleMaxima{20, 20, 20};
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  const std::vector<NodeId> writers{2, 5, 8};
+  cluster.warm_up(writers, sec(20));
+  cluster.node(2).write("a", 1.0);
+  cluster.node(5).write("b", 1.0);
+  cluster.node(8).write("c", 1.0);
+  cluster.run_for(sec(2));
+  // Node 8 crashes (drops off the network).
+  cluster.transport().detach(8);
+  cluster.node(2).write("after-crash", 1.0);
+  cluster.node(2).demand_active_resolution();
+  cluster.run_for(sec(30));
+  // Survivors converge; nobody is left blocked.
+  EXPECT_TRUE(cluster.converged({2, 5}));
+  EXPECT_FALSE(cluster.node(2).resolution().busy());
+  EXPECT_FALSE(cluster.node(5).resolution().busy());
+  EXPECT_TRUE(cluster.node(2).write("still-alive", 1.0));
+}
+
+TEST(Failure, InitiatorCrashReleasesParticipants) {
+  ClusterConfig cfg;
+  cfg.nodes = 10;
+  cfg.sync_sizes();
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  const std::vector<NodeId> writers{1, 4, 7};
+  cluster.warm_up(writers, sec(20));
+  cluster.node(1).write("a", 1.0);
+  cluster.node(4).write("b", 1.0);
+  cluster.node(1).demand_active_resolution();
+  // Let the round reach the collect phase, then kill the initiator.
+  cluster.run_for(msec(300));
+  cluster.transport().detach(1);
+  cluster.run_for(sec(20));
+  // Participant safety valve released the write block.
+  EXPECT_FALSE(cluster.node(4).resolution().busy());
+  EXPECT_TRUE(cluster.node(4).write("free-again", 1.0));
+}
+
+TEST(Failure, HeavyLossEventuallyConverges) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.transport.loss_rate = 0.20;
+  cfg.sync_sizes();
+  cfg.idea.background_period = sec(8);
+  cfg.idea.controller.mode = AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.9;
+  cfg.idea.maxima = vv::TripleMaxima{20, 20, 20};
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  const std::vector<NodeId> writers{1, 5};
+  cluster.warm_up(writers, sec(25));
+  cluster.node(1).write("x", 1.0);
+  cluster.node(5).write("y", 2.0);
+  // Repeated background rounds push through the loss.
+  cluster.run_for(sec(120));
+  EXPECT_TRUE(cluster.converged(writers));
+}
+
+TEST(Failure, NonWriterCrashInvisibleToProtocol) {
+  ClusterConfig cfg;
+  cfg.nodes = 12;
+  cfg.sync_sizes();
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  const std::vector<NodeId> writers{2, 5};
+  cluster.warm_up(writers, sec(20));
+  cluster.transport().detach(10);  // bottom-layer bystander dies
+  cluster.node(2).write("a", 1.0);
+  cluster.node(5).write("b", 1.0);
+  cluster.node(2).demand_active_resolution();
+  cluster.run_for(sec(10));
+  EXPECT_TRUE(cluster.converged(writers));
+}
+
+TEST(Failure, RepeatedCrashRecoverCycles) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.sync_sizes();
+  cfg.idea.background_period = sec(6);
+  IdeaCluster cluster(cfg);
+  cluster.start();
+  const std::vector<NodeId> writers{1, 4};
+  cluster.warm_up(writers, sec(20));
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    cluster.node(1).write("w1", 1.0);
+    cluster.node(4).write("w4", 1.0);
+    cluster.run_for(sec(3));
+    cluster.transport().detach(4);
+    cluster.run_for(sec(8));
+  }
+  // The surviving writer is never wedged.
+  EXPECT_TRUE(cluster.node(1).write("final", 1.0));
+  cluster.run_for(sec(10));
+  EXPECT_FALSE(cluster.node(1).resolution().busy());
+}
+
+}  // namespace
+}  // namespace idea::core

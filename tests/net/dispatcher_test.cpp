@@ -1,0 +1,69 @@
+#include "net/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace idea::net {
+namespace {
+
+class Recorder : public MessageHandler {
+ public:
+  void on_message(const Message& msg) override {
+    types.push_back(msg.type);
+  }
+  std::vector<std::string> types;
+};
+
+TEST(Dispatcher, RoutesByPrefix) {
+  Dispatcher d;
+  Recorder a, b;
+  d.route("detect.", &a);
+  d.route("resolve.", &b);
+  Message m;
+  m.type = "detect.probe";
+  d.on_message(m);
+  m.type = "resolve.attn";
+  d.on_message(m);
+  EXPECT_EQ(a.types, (std::vector<std::string>{"detect.probe"}));
+  EXPECT_EQ(b.types, (std::vector<std::string>{"resolve.attn"}));
+}
+
+TEST(Dispatcher, LongestPrefixWins) {
+  Dispatcher d;
+  Recorder general, specific;
+  d.route("a.", &general);
+  d.route("a.b.", &specific);
+  Message m;
+  m.type = "a.b.c";
+  d.on_message(m);
+  m.type = "a.x";
+  d.on_message(m);
+  EXPECT_EQ(specific.types, (std::vector<std::string>{"a.b.c"}));
+  EXPECT_EQ(general.types, (std::vector<std::string>{"a.x"}));
+}
+
+TEST(Dispatcher, UnmatchedDropped) {
+  Dispatcher d;
+  Recorder a;
+  d.route("x.", &a);
+  Message m;
+  m.type = "y.z";
+  d.on_message(m);  // must not crash
+  EXPECT_TRUE(a.types.empty());
+}
+
+TEST(Dispatcher, Unroute) {
+  Dispatcher d;
+  Recorder a;
+  d.route("x.", &a);
+  d.unroute("x.");
+  Message m;
+  m.type = "x.y";
+  d.on_message(m);
+  EXPECT_TRUE(a.types.empty());
+}
+
+}  // namespace
+}  // namespace idea::net

@@ -1,0 +1,55 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::net {
+namespace {
+
+TEST(MessageCounters, TotalsAccumulate) {
+  MessageCounters c;
+  c.record("a", 100);
+  c.record("a", 50);
+  c.record("b", 10);
+  EXPECT_EQ(c.total_messages(), 3u);
+  EXPECT_EQ(c.total_bytes(), 160u);
+  EXPECT_EQ(c.messages_of("a"), 2u);
+  EXPECT_EQ(c.messages_of("b"), 1u);
+  EXPECT_EQ(c.messages_of("missing"), 0u);
+}
+
+TEST(MessageCounters, PrefixCount) {
+  MessageCounters c;
+  c.record("resolve.attn", 1);
+  c.record("resolve.collect", 1);
+  c.record("resolve.collect_reply", 1);
+  c.record("detect.probe", 1);
+  EXPECT_EQ(c.messages_with_prefix("resolve."), 3u);
+  EXPECT_EQ(c.messages_with_prefix("detect."), 1u);
+  EXPECT_EQ(c.messages_with_prefix("gossip."), 0u);
+}
+
+TEST(MessageCounters, PrefixDoesNotOvercount) {
+  MessageCounters c;
+  c.record("resolve", 1);     // no dot: not part of "resolve."
+  c.record("resolvex.y", 1);  // sorts after "resolve." range
+  EXPECT_EQ(c.messages_with_prefix("resolve."), 0u);
+}
+
+TEST(MessageCounters, Reset) {
+  MessageCounters c;
+  c.record("a", 5);
+  c.reset();
+  EXPECT_EQ(c.total_messages(), 0u);
+  EXPECT_EQ(c.total_bytes(), 0u);
+  EXPECT_TRUE(c.by_type().empty());
+}
+
+TEST(Message, Defaults) {
+  Message m;
+  EXPECT_EQ(m.from, kNoNode);
+  EXPECT_EQ(m.to, kNoNode);
+  EXPECT_EQ(m.wire_bytes, 64u);
+}
+
+}  // namespace
+}  // namespace idea::net

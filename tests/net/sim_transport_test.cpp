@@ -1,0 +1,140 @@
+#include "net/sim_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace idea::net {
+namespace {
+
+class Collector : public MessageHandler {
+ public:
+  void on_message(const Message& msg) override { received.push_back(msg); }
+  std::vector<Message> received;
+};
+
+class SimTransportTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  sim::ConstantLatency latency_{msec(10)};
+};
+
+TEST_F(SimTransportTest, DeliversAfterLatency) {
+  SimTransport t(sim_, latency_);
+  Collector c;
+  t.attach(1, &c);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = "test";
+  m.payload = std::string("hi");
+  t.send(std::move(m));
+  EXPECT_TRUE(c.received.empty());
+  sim_.run();
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(sim_.now(), msec(10));
+  EXPECT_EQ(std::any_cast<std::string>(c.received[0].payload), "hi");
+  EXPECT_EQ(c.received[0].sent_at, 0);
+}
+
+TEST_F(SimTransportTest, CountsAllSends) {
+  SimTransport t(sim_, latency_);
+  Collector c;
+  t.attach(1, &c);
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = "x";
+    m.wire_bytes = 100;
+    t.send(std::move(m));
+  }
+  EXPECT_EQ(t.counters().total_messages(), 5u);
+  EXPECT_EQ(t.counters().total_bytes(), 500u);
+}
+
+TEST_F(SimTransportTest, DetachDropsDelivery) {
+  SimTransport t(sim_, latency_);
+  Collector c;
+  t.attach(1, &c);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = "x";
+  t.send(std::move(m));
+  t.detach(1);
+  sim_.run();
+  EXPECT_TRUE(c.received.empty());
+}
+
+TEST_F(SimTransportTest, UnknownDestinationIgnored) {
+  SimTransport t(sim_, latency_);
+  Message m;
+  m.from = 0;
+  m.to = 99;
+  m.type = "x";
+  t.send(std::move(m));
+  sim_.run();  // no crash
+  EXPECT_EQ(t.counters().total_messages(), 1u);
+}
+
+TEST_F(SimTransportTest, LossDropsApproximately) {
+  SimTransportOptions opts;
+  opts.loss_rate = 0.5;
+  opts.seed = 9;
+  SimTransport t(sim_, latency_, opts);
+  Collector c;
+  t.attach(1, &c);
+  for (int i = 0; i < 1000; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = "x";
+    t.send(std::move(m));
+  }
+  sim_.run();
+  EXPECT_NEAR(static_cast<double>(t.dropped()), 500.0, 75.0);
+  EXPECT_EQ(c.received.size() + t.dropped(), 1000u);
+}
+
+TEST_F(SimTransportTest, ClockSkewBounded) {
+  SimTransportOptions opts;
+  opts.max_clock_skew = msec(250);
+  opts.node_count = 20;
+  opts.seed = 4;
+  SimTransport t(sim_, latency_, opts);
+  sim_.run_until(sec(100));
+  bool any_nonzero = false;
+  for (NodeId n = 0; n < 20; ++n) {
+    const SimDuration skew = t.skew_of(n);
+    EXPECT_LE(skew, msec(250));
+    EXPECT_GE(skew, -msec(250));
+    if (skew != 0) any_nonzero = true;
+    EXPECT_EQ(t.local_time(n), sim_.now() + skew);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(SimTransportTest, NoSkewByDefault) {
+  SimTransport t(sim_, latency_);
+  EXPECT_EQ(t.local_time(3), t.now());
+  EXPECT_EQ(t.skew_of(3), 0);
+}
+
+TEST_F(SimTransportTest, TimersRunOnSimClock) {
+  SimTransport t(sim_, latency_);
+  bool fired = false;
+  int periodic = 0;
+  t.call_after(msec(500), [&] { fired = true; });
+  const auto h = t.call_every(sec(1), [&] { ++periodic; });
+  sim_.run_until(sec(3) + msec(500));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(periodic, 3);
+  t.cancel_call(h);
+  sim_.run_until(sec(10));
+  EXPECT_EQ(periodic, 3);
+}
+
+}  // namespace
+}  // namespace idea::net

@@ -1,0 +1,65 @@
+#include "overlay/temperature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::overlay {
+namespace {
+
+TEST(Temperature, ColdByDefault) {
+  TemperatureTracker t;
+  EXPECT_DOUBLE_EQ(t.temperature(1, sec(10)), 0.0);
+  EXPECT_FALSE(t.is_hot(1, sec(10)));
+}
+
+TEST(Temperature, HotAfterUpdate) {
+  TemperatureTracker t;
+  t.record_update(1, sec(10));
+  EXPECT_DOUBLE_EQ(t.temperature(1, sec(10)), 1.0);
+  EXPECT_TRUE(t.is_hot(1, sec(10)));
+}
+
+TEST(Temperature, DecaysOverTime) {
+  TemperatureParams p;
+  p.tau = sec(60);
+  TemperatureTracker t(p);
+  t.record_update(1, 0);
+  const double at_0 = t.temperature(1, 0);
+  const double at_60 = t.temperature(1, sec(60));
+  const double at_300 = t.temperature(1, sec(300));
+  EXPECT_DOUBLE_EQ(at_0, 1.0);
+  EXPECT_NEAR(at_60, std::exp(-1.0), 1e-9);
+  EXPECT_LT(at_300, 0.01);
+}
+
+TEST(Temperature, FrequentWriterStaysHot) {
+  TemperatureParams p;
+  p.tau = sec(60);
+  p.hot_threshold = 0.5;
+  TemperatureTracker t(p);
+  for (int i = 0; i < 20; ++i) {
+    t.record_update(1, sec(i * 5));
+  }
+  // Steady state for 5 s period, 60 s tau: score well above threshold.
+  EXPECT_GT(t.temperature(1, sec(100)), 5.0);
+  EXPECT_TRUE(t.is_hot(1, sec(100)));
+  // 5 minutes of silence cools it below the threshold.
+  EXPECT_FALSE(t.is_hot(1, sec(100) + sec(300)));
+}
+
+TEST(Temperature, FilesIndependent) {
+  TemperatureTracker t;
+  t.record_update(1, sec(1));
+  EXPECT_TRUE(t.is_hot(1, sec(1)));
+  EXPECT_FALSE(t.is_hot(2, sec(1)));
+}
+
+TEST(Temperature, ScoreAccumulates) {
+  TemperatureTracker t;
+  t.record_update(1, sec(1));
+  t.record_update(1, sec(1));
+  t.record_update(1, sec(1));
+  EXPECT_DOUBLE_EQ(t.temperature(1, sec(1)), 3.0);
+}
+
+}  // namespace
+}  // namespace idea::overlay

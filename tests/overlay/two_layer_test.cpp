@@ -1,0 +1,93 @@
+#include "overlay/two_layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::overlay {
+namespace {
+
+TwoLayerParams params(std::uint32_t nodes = 10) {
+  TwoLayerParams p;
+  p.hot_threshold = 0.5;
+  p.ad_ttl = sec(30);
+  p.all_nodes = nodes;
+  return p;
+}
+
+TEST(TwoLayer, EmptyView) {
+  TwoLayerView v(0, params());
+  EXPECT_TRUE(v.top_layer(1, sec(1)).empty());
+  EXPECT_EQ(v.bottom_layer(1, sec(1)).size(), 10u);
+}
+
+TEST(TwoLayer, HotAdJoinsTopLayer) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{3, 1, 2.0, sec(1)}}, sec(1));
+  const auto top = v.top_layer(1, sec(2));
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_TRUE(v.in_top_layer(3, 1, sec(2)));
+  EXPECT_FALSE(v.in_top_layer(4, 1, sec(2)));
+}
+
+TEST(TwoLayer, ColdAdExcluded) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{3, 1, 0.1, sec(1)}}, sec(1));
+  EXPECT_TRUE(v.top_layer(1, sec(2)).empty());
+}
+
+TEST(TwoLayer, AdsExpire) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{3, 1, 2.0, sec(1)}}, sec(1));
+  EXPECT_TRUE(v.in_top_layer(3, 1, sec(10)));
+  EXPECT_FALSE(v.in_top_layer(3, 1, sec(40)));
+}
+
+TEST(TwoLayer, FresherAdWins) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{3, 1, 2.0, sec(1)}}, sec(1));
+  v.ingest({TempAd{3, 1, 0.0, sec(5)}}, sec(5));  // cooled down
+  EXPECT_FALSE(v.in_top_layer(3, 1, sec(6)));
+}
+
+TEST(TwoLayer, StaleAdDoesNotOverwrite) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{3, 1, 2.0, sec(5)}}, sec(5));
+  v.ingest({TempAd{3, 1, 0.0, sec(1)}}, sec(5));  // older stamp, ignored
+  EXPECT_TRUE(v.in_top_layer(3, 1, sec(6)));
+}
+
+TEST(TwoLayer, NoteSelfKeepsSelfVisible) {
+  TwoLayerView v(4, params());
+  v.note_self(1, 3.0, sec(2));
+  const auto top = v.top_layer(1, sec(3));
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 4u);
+}
+
+TEST(TwoLayer, FilesHaveIndependentTopLayers) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{3, 1, 2.0, sec(1)}, TempAd{5, 2, 2.0, sec(1)}}, sec(1));
+  EXPECT_TRUE(v.in_top_layer(3, 1, sec(2)));
+  EXPECT_FALSE(v.in_top_layer(3, 2, sec(2)));
+  EXPECT_TRUE(v.in_top_layer(5, 2, sec(2)));
+  EXPECT_FALSE(v.in_top_layer(5, 1, sec(2)));
+}
+
+TEST(TwoLayer, TopLayerSorted) {
+  TwoLayerView v(0, params());
+  v.ingest({TempAd{7, 1, 2.0, sec(1)}, TempAd{2, 1, 2.0, sec(1)},
+            TempAd{5, 1, 2.0, sec(1)}},
+           sec(1));
+  const auto top = v.top_layer(1, sec(2));
+  EXPECT_EQ(top, (std::vector<NodeId>{2, 5, 7}));
+}
+
+TEST(TwoLayer, BottomLayerIsComplement) {
+  TwoLayerView v(0, params(6));
+  v.ingest({TempAd{1, 1, 2.0, sec(1)}, TempAd{4, 1, 2.0, sec(1)}}, sec(1));
+  const auto bottom = v.bottom_layer(1, sec(2));
+  EXPECT_EQ(bottom, (std::vector<NodeId>{0, 2, 3, 5}));
+}
+
+}  // namespace
+}  // namespace idea::overlay

@@ -1,0 +1,189 @@
+#include "replica/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::replica {
+namespace {
+
+TEST(ReplicaStore, LocalWritesSequence) {
+  ReplicaStore s(0, 1);
+  const Update& u1 = s.apply_local(sec(1), "a", 1.0);
+  const Update& u2 = s.apply_local(sec(2), "b", 2.0);
+  EXPECT_EQ(u1.key.seq, 1u);
+  EXPECT_EQ(u2.key.seq, 2u);
+  EXPECT_EQ(s.local_seq(), 2u);
+  EXPECT_EQ(s.update_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.meta_value(), 3.0);
+  EXPECT_EQ(s.evv().count_of(0), 2u);
+}
+
+TEST(ReplicaStore, FindAndHas) {
+  ReplicaStore s(0, 1);
+  s.apply_local(sec(1), "a", 1.0);
+  EXPECT_TRUE(s.has(UpdateKey{0, 1}));
+  EXPECT_FALSE(s.has(UpdateKey{0, 2}));
+  const Update* u = s.find(UpdateKey{0, 1});
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->content, "a");
+  EXPECT_EQ(s.find(UpdateKey{9, 1}), nullptr);
+}
+
+TEST(ReplicaStore, RemoteInOrder) {
+  ReplicaStore a(0, 1), b(1, 1);
+  const Update& u = a.apply_local(sec(1), "x", 5.0);
+  EXPECT_TRUE(b.apply_remote(u));
+  EXPECT_TRUE(b.has(u.key));
+  EXPECT_DOUBLE_EQ(b.meta_value(), 5.0);
+  // Idempotent.
+  EXPECT_TRUE(b.apply_remote(u));
+  EXPECT_EQ(b.update_count(), 1u);
+}
+
+TEST(ReplicaStore, RemoteOutOfOrderBuffered) {
+  ReplicaStore a(0, 1), b(1, 1);
+  const Update u1 = a.apply_local(sec(1), "x", 1.0);
+  const Update u2 = a.apply_local(sec(2), "y", 2.0);
+  const Update u3 = a.apply_local(sec(3), "z", 4.0);
+  EXPECT_FALSE(b.apply_remote(u3));  // parked
+  EXPECT_FALSE(b.apply_remote(u2));  // parked
+  EXPECT_EQ(b.update_count(), 0u);
+  EXPECT_EQ(b.pending_remote(), 2u);
+  EXPECT_TRUE(b.apply_remote(u1));  // drains the buffer
+  EXPECT_EQ(b.update_count(), 3u);
+  EXPECT_EQ(b.pending_remote(), 0u);
+  EXPECT_DOUBLE_EQ(b.meta_value(), 7.0);
+}
+
+TEST(ReplicaStore, UpdatesAheadOf) {
+  ReplicaStore a(0, 1);
+  a.apply_local(sec(1), "1", 0);
+  a.apply_local(sec(2), "2", 0);
+  a.apply_local(sec(3), "3", 0);
+  vv::VersionVector peer;
+  peer.set(0, 1);
+  const auto ahead = a.updates_ahead_of(peer);
+  ASSERT_EQ(ahead.size(), 2u);
+  EXPECT_EQ(ahead[0].key.seq, 2u);
+  EXPECT_EQ(ahead[1].key.seq, 3u);
+}
+
+TEST(ReplicaStore, UpdatesAheadOfMultiWriterSorted) {
+  ReplicaStore a(0, 1), b(1, 1);
+  b.apply_local(sec(1), "b1", 0);
+  b.apply_local(sec(2), "b2", 0);
+  a.apply_local(sec(3), "a1", 0);
+  for (const auto& u : b.updates_ahead_of(vv::VersionVector{})) {
+    a.apply_remote(u);
+  }
+  const auto ahead = a.updates_ahead_of(vv::VersionVector{});
+  ASSERT_EQ(ahead.size(), 3u);
+  EXPECT_LT(ahead[0].key, ahead[1].key);
+  EXPECT_LT(ahead[1].key, ahead[2].key);
+}
+
+TEST(ReplicaStore, InvalidateAffectsMetaAndDigest) {
+  ReplicaStore s(0, 1);
+  s.apply_local(sec(1), "a", 3.0);
+  s.apply_local(sec(2), "b", 4.0);
+  const auto digest_before = s.content_digest();
+  EXPECT_TRUE(s.invalidate(UpdateKey{0, 1}));
+  EXPECT_DOUBLE_EQ(s.meta_value(), 4.0);
+  EXPECT_NE(s.content_digest(), digest_before);
+  EXPECT_FALSE(s.invalidate(UpdateKey{9, 9}));
+  // Idempotent invalidation.
+  EXPECT_TRUE(s.invalidate(UpdateKey{0, 1}));
+  EXPECT_DOUBLE_EQ(s.meta_value(), 4.0);
+}
+
+TEST(ReplicaStore, OrderedContentsCanonical) {
+  ReplicaStore a(0, 1), b(1, 1);
+  b.apply_local(sec(5), "later", 0);
+  a.apply_local(sec(1), "early", 0);
+  a.apply_remote(*b.find(UpdateKey{1, 1}));
+  const auto ordered = a.ordered_contents();
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered[0].content, "early");
+  EXPECT_EQ(ordered[1].content, "later");
+}
+
+TEST(ReplicaStore, DigestsMatchForSameHistory) {
+  ReplicaStore a(0, 1), b(1, 1);
+  const Update u1 = a.apply_local(sec(1), "x", 1.0);
+  b.apply_remote(u1);
+  const Update u2 = b.apply_local(sec(2), "y", 1.0);
+  a.apply_remote(u2);
+  EXPECT_EQ(a.content_digest(), b.content_digest());
+}
+
+TEST(ReplicaStore, DigestsDifferForDifferentHistory) {
+  ReplicaStore a(0, 1), b(1, 1);
+  a.apply_local(sec(1), "x", 1.0);
+  b.apply_local(sec(1), "y", 1.0);
+  EXPECT_NE(a.content_digest(), b.content_digest());
+}
+
+TEST(ReplicaStore, RollbackDropsNewUpdates) {
+  ReplicaStore s(0, 1);
+  s.apply_local(sec(1), "keep", 1.0);
+  s.apply_local(sec(5), "drop1", 2.0);
+  s.apply_local(sec(6), "drop2", 4.0);
+  const std::size_t dropped = s.rollback_to(sec(2));
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(s.update_count(), 1u);
+  EXPECT_EQ(s.local_seq(), 1u);
+  EXPECT_DOUBLE_EQ(s.meta_value(), 1.0);
+  EXPECT_EQ(s.evv().count_of(0), 1u);
+  // New writes continue the sequence cleanly after rollback.
+  const Update& u = s.apply_local(sec(7), "new", 8.0);
+  EXPECT_EQ(u.key.seq, 2u);
+}
+
+TEST(ReplicaStore, RollbackNoopWhenNothingNewer) {
+  ReplicaStore s(0, 1);
+  s.apply_local(sec(1), "a", 1.0);
+  EXPECT_EQ(s.rollback_to(sec(10)), 0u);
+  EXPECT_EQ(s.update_count(), 1u);
+}
+
+TEST(ReplicaStore, RollbackClearsPendingBuffer) {
+  ReplicaStore a(0, 1), b(1, 1);
+  a.apply_local(sec(1), "1", 0);
+  const Update u2 = a.apply_local(sec(9), "2", 0);
+  b.apply_remote(u2);  // parked, stamp 9
+  EXPECT_EQ(b.pending_remote(), 1u);
+  b.rollback_to(sec(5));
+  EXPECT_EQ(b.pending_remote(), 0u);
+}
+
+TEST(ReplicaStore, ReacquireOwnUpdatesAfterRollback) {
+  // A replica rolls back its own updates, then relearns them from a peer.
+  ReplicaStore a(0, 1), b(1, 1);
+  const Update u1 = a.apply_local(sec(1), "1", 1.0);
+  const Update u2 = a.apply_local(sec(5), "2", 1.0);
+  b.apply_remote(u1);
+  b.apply_remote(u2);
+  a.rollback_to(sec(2));
+  EXPECT_EQ(a.local_seq(), 1u);
+  EXPECT_TRUE(a.apply_remote(u2));
+  EXPECT_EQ(a.local_seq(), 2u);
+  EXPECT_EQ(a.content_digest(), b.content_digest());
+}
+
+TEST(ReplicaStore, WireBytesScaleWithContent) {
+  Update u;
+  u.content = std::string(100, 'x');
+  EXPECT_EQ(u.wire_bytes(), 140u);
+}
+
+TEST(CanonicalOrder, TieBreaksByWriterThenSeq) {
+  Update a, b;
+  a.stamp = b.stamp = sec(1);
+  a.key = UpdateKey{1, 1};
+  b.key = UpdateKey{0, 2};
+  CanonicalOrder lt;
+  EXPECT_TRUE(lt(b, a));
+  EXPECT_FALSE(lt(a, b));
+}
+
+}  // namespace
+}  // namespace idea::replica

@@ -1,0 +1,124 @@
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::sim {
+namespace {
+
+TEST(ConstantLatency, AlwaysSame) {
+  ConstantLatency lat(msec(10));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lat.sample(0, 1, rng), msec(10));
+  }
+  EXPECT_EQ(lat.mean(0, 1), msec(10));
+}
+
+TEST(UniformLatency, WithinBounds) {
+  UniformLatency lat(msec(5), msec(15));
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration d = lat.sample(0, 1, rng);
+    EXPECT_GE(d, msec(5));
+    EXPECT_LE(d, msec(15));
+  }
+  EXPECT_EQ(lat.mean(0, 1), msec(10));
+}
+
+TEST(MatrixLatency, UsesMatrix) {
+  std::vector<std::vector<SimDuration>> base{
+      {0, msec(10)}, {msec(20), 0}};
+  MatrixLatency lat(base, /*jitter_sigma=*/0.0);
+  Rng rng(3);
+  EXPECT_EQ(lat.sample(0, 1, rng), msec(10));
+  EXPECT_EQ(lat.sample(1, 0, rng), msec(20));
+  EXPECT_EQ(lat.mean(0, 1), msec(10));
+}
+
+TEST(MatrixLatency, JitterVariesSamples) {
+  std::vector<std::vector<SimDuration>> base{
+      {0, msec(10)}, {msec(10), 0}};
+  MatrixLatency lat(base, /*jitter_sigma=*/0.3);
+  Rng rng(4);
+  SimDuration first = lat.sample(0, 1, rng);
+  bool varied = false;
+  for (int i = 0; i < 50; ++i) {
+    if (lat.sample(0, 1, rng) != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+class PlanetLabLatencyTest : public ::testing::Test {
+ protected:
+  PlanetLabParams params_{};
+  PlanetLabLatency lat_{params_};
+  Rng rng_{5};
+};
+
+TEST_F(PlanetLabLatencyTest, SelfDelayZero) {
+  EXPECT_EQ(lat_.sample(3, 3, rng_), 0);
+  EXPECT_EQ(lat_.mean(3, 3), 0);
+}
+
+TEST_F(PlanetLabLatencyTest, SymmetricBase) {
+  // Jitter-free mean is symmetric because distance is.
+  EXPECT_EQ(lat_.mean(1, 7), lat_.mean(7, 1));
+}
+
+TEST_F(PlanetLabLatencyTest, AboveProcessingFloor) {
+  for (NodeId i = 0; i < 40; ++i) {
+    for (NodeId j = 0; j < 40; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(lat_.mean(i, j), params_.processing_floor);
+      EXPECT_LE(lat_.mean(i, j),
+                2 * (params_.processing_floor + params_.diameter_delay));
+    }
+  }
+}
+
+TEST_F(PlanetLabLatencyTest, HeterogeneousPairs) {
+  // A WAN is not a constant-latency network: pairs must differ.
+  const SimDuration a = lat_.mean(0, 1);
+  bool differs = false;
+  for (NodeId j = 2; j < 40; ++j) {
+    if (lat_.mean(0, j) != a) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(PlanetLabLatencyTest, MeanPairwisePositive) {
+  const SimDuration mean = lat_.mean_pairwise();
+  EXPECT_GT(mean, params_.processing_floor);
+  EXPECT_LT(mean, params_.diameter_delay + params_.processing_floor);
+}
+
+TEST_F(PlanetLabLatencyTest, SamplesJitterAroundBase) {
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(lat_.sample(0, 20, rng_));
+  }
+  const double mean_sample = sum / n;
+  const double mean_model = static_cast<double>(lat_.mean(0, 20));
+  EXPECT_NEAR(mean_sample, mean_model, mean_model * 0.05);
+}
+
+TEST(PlanetLabLatencyFactory, Makes40Nodes) {
+  auto lat = make_planetlab40();
+  EXPECT_EQ(lat->node_count(), 40u);
+}
+
+TEST(PlanetLabLatency, PlacementSeedChangesTopology) {
+  PlanetLabParams a{};
+  PlanetLabParams b{};
+  b.placement_seed = 999;
+  PlanetLabLatency la(a), lb(b);
+  bool differs = false;
+  for (NodeId j = 1; j < 40; ++j) {
+    if (la.mean(0, j) != lb.mean(0, j)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace idea::sim

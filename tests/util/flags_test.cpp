@@ -1,0 +1,66 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace idea {
+namespace {
+
+Flags make(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(storage.empty() ? nullptr : storage.front().data());
+  for (auto& s : storage) argv.push_back(s.data());
+  argv[0] = storage.front().data();
+  // Rebuild properly: argv[0] = program, rest = flags.
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparated) {
+  Flags f = make({"prog", "--hint", "0.95", "--seed", "42"});
+  EXPECT_DOUBLE_EQ(f.get_double("hint", 0.0), 0.95);
+  EXPECT_EQ(f.get_int("seed", 0), 42);
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, EqualsSeparated) {
+  Flags f = make({"prog", "--hint=0.85", "--name=fig7"});
+  EXPECT_DOUBLE_EQ(f.get_double("hint", 0.0), 0.85);
+  EXPECT_EQ(f.get_string("name", ""), "fig7");
+}
+
+TEST(Flags, BareBoolean) {
+  Flags f = make({"prog", "--verbose", "--count", "3"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_int("count", 0), 3);
+}
+
+TEST(Flags, Defaults) {
+  Flags f = make({"prog"});
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.get_string("missing", "dft"), "dft");
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, BoolSpellings) {
+  Flags f = make({"prog", "--a", "true", "--b", "1", "--c", "yes",
+                  "--d", "false"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, RejectsPositional) {
+  EXPECT_THROW(make({"prog", "positional"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idea

@@ -1,0 +1,57 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/time.hpp"
+
+namespace idea {
+namespace {
+
+TEST(Ids, Mix64Deterministic) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Ids, FairIdsDistinct) {
+  std::set<FairId> seen;
+  for (NodeId n = 0; n < 1000; ++n) {
+    seen.insert(fair_id(n, 2007));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Ids, FairIdsDependOnSeed) {
+  EXPECT_NE(fair_id(3, 1), fair_id(3, 2));
+}
+
+TEST(Ids, NodeNameFormat) {
+  EXPECT_EQ(node_name(7), "n07");
+  EXPECT_EQ(node_name(42), "n42");
+  EXPECT_EQ(node_name(kNoNode), "n--");
+}
+
+TEST(Ids, NodeFileKeyHashAndEq) {
+  NodeFileKey a{1, 2}, b{1, 2}, c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  NodeFileKeyHash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(msec(5), 5000);
+  EXPECT_EQ(sec(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(to_ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_sec(2'500'000), 2.5);
+  EXPECT_EQ(sec_f(0.5), 500'000);
+  EXPECT_EQ(msec_f(1.5), 1500);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(format_time(sec(12) + msec(345)), "12.345s");
+}
+
+}  // namespace
+}  // namespace idea

@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea {
+namespace {
+
+TEST(Log, CaptureReceivesMessages) {
+  LogCapture capture(LogLevel::kDebug);
+  IDEA_LOG(kInfo) << "hello " << 42;
+  EXPECT_TRUE(capture.contains("hello 42"));
+  EXPECT_TRUE(capture.contains("INFO"));
+}
+
+TEST(Log, ThresholdFilters) {
+  LogCapture capture(LogLevel::kWarn);
+  IDEA_LOG(kDebug) << "should not appear";
+  IDEA_LOG(kError) << "should appear";
+  EXPECT_FALSE(capture.contains("should not appear"));
+  EXPECT_TRUE(capture.contains("should appear"));
+}
+
+TEST(Log, CaptureRestoresPreviousState) {
+  const LogLevel before = Log::threshold();
+  {
+    LogCapture capture(LogLevel::kTrace);
+    EXPECT_EQ(Log::threshold(), LogLevel::kTrace);
+  }
+  EXPECT_EQ(Log::threshold(), before);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(Log::level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(Log::level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Log, StreamFormatting) {
+  LogCapture capture(LogLevel::kTrace);
+  IDEA_LOG(kTrace) << "x=" << 1.5 << " y=" << 'c';
+  EXPECT_TRUE(capture.contains("x=1.5 y=c"));
+}
+
+}  // namespace
+}  // namespace idea

@@ -1,0 +1,186 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace idea {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng root(7);
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  Rng f1_again = Rng(7).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto sample = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<std::uint32_t> s(sample.begin(), sample.end());
+    EXPECT_EQ(s.size(), 7u);
+    for (auto v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  auto sample = rng.sample_without_replacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleWithoutReplacementUniformish) {
+  Rng rng(43);
+  std::vector<int> counts(10, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto v : rng.sample_without_replacement(10, 3)) ++counts[v];
+  }
+  // Each element should be picked ~ trials * 3/10 times.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials * 0.3, trials * 0.3 * 0.1);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng rng(53);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+}  // namespace
+}  // namespace idea

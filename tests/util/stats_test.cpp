@@ -1,0 +1,153 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace idea {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileStat, MedianAndExtremes) {
+  PercentileStat p;
+  for (int i = 1; i <= 101; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.median(), 51.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 101.0);
+  EXPECT_NEAR(p.percentile(90), 91.0, 1.0);
+}
+
+TEST(PercentileStat, InterleavedAddAndQuery) {
+  PercentileStat p;
+  p.add(10);
+  EXPECT_DOUBLE_EQ(p.median(), 10.0);
+  p.add(20);
+  p.add(30);
+  EXPECT_DOUBLE_EQ(p.median(), 20.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 20.0);
+}
+
+TEST(Histogram, Bucketing) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(9), 9.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(9), 10.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+}
+
+TEST(Ewma, PrimesOnFirstSample) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.add(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, Smooths) {
+  Ewma e(0.5);
+  e.add(10.0);
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(Ewma, Reset) {
+  Ewma e(0.3);
+  e.add(5.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(TimeSeries, MinMeanWindow) {
+  TimeSeries s("test");
+  s.add(0.0, 1.0);
+  s.add(5.0, 0.9);
+  s.add(10.0, 0.95);
+  s.add(15.0, 0.8);
+  EXPECT_DOUBLE_EQ(s.min_value(), 0.8);
+  EXPECT_NEAR(s.mean_value(), (1.0 + 0.9 + 0.95 + 0.8) / 4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_in_window(0.0, 11.0), 0.9);
+  EXPECT_DOUBLE_EQ(s.min_in_window(10.0, 20.0), 0.8);
+}
+
+TEST(TimeSeries, EmptyWindows) {
+  TimeSeries s("empty");
+  EXPECT_DOUBLE_EQ(s.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min_in_window(0, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace idea

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace idea {
+namespace {
+
+TEST(TextTable, RenderAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::integer(-42), "-42");
+  EXPECT_EQ(TextTable::percent(0.956, 1), "95.6%");
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string path = testing::TempDir() + "/table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesCsv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/series_test.csv";
+  {
+    SeriesCsv csv(path);
+    csv.add("worst", 5.0, 0.94);
+    csv.add("avg", 5.0, 0.97);
+  }
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "series,t,value");
+  std::getline(f, line);
+  EXPECT_EQ(line, "worst,5,0.94");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace idea

@@ -1,0 +1,208 @@
+#include "vv/extended_vv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::vv {
+namespace {
+
+constexpr NodeId A = 0;
+constexpr NodeId B = 1;
+
+TEST(ExtendedVv, RecordAndCount) {
+  ExtendedVersionVector e;
+  e.record_update(A, sec(1), 2.0);
+  e.record_update(A, sec(2), 5.0);
+  EXPECT_EQ(e.count_of(A), 2u);
+  EXPECT_EQ(e.count_of(B), 0u);
+  EXPECT_EQ(e.stamp_of(A, 1), sec(1));
+  EXPECT_EQ(e.stamp_of(A, 2), sec(2));
+  EXPECT_EQ(e.stamp_of(A, 3), kNever);
+  EXPECT_EQ(e.stamp_of(B, 1), kNever);
+  EXPECT_DOUBLE_EQ(e.meta(), 5.0);
+  EXPECT_EQ(e.total_updates(), 2u);
+}
+
+TEST(ExtendedVv, CountsView) {
+  ExtendedVersionVector e;
+  e.record_update(A, sec(1), 0);
+  e.record_update(B, sec(2), 0);
+  e.record_update(B, sec(3), 0);
+  const VersionVector v = e.counts();
+  EXPECT_EQ(v.get(A), 1u);
+  EXPECT_EQ(v.get(B), 2u);
+}
+
+TEST(ExtendedVv, LatestUpdateTime) {
+  ExtendedVersionVector e;
+  EXPECT_EQ(e.latest_update_time(), 0);
+  e.record_update(A, sec(1), 0);
+  e.record_update(B, sec(5), 0);
+  e.record_update(A, sec(3), 0);
+  EXPECT_EQ(e.latest_update_time(), sec(5));
+}
+
+// The paper's running example (§4.4.1, Figure 4): replica a has
+// A:2(1,2), B:1(1) with meta 5; replica b has A:1(1), B:2(1,3) with meta 8.
+// Against reference b: numerical error 3, order error = 1 missing + 1
+// extra, staleness = 3 - 1 = 2.
+class PaperExample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_.record_update(A, sec(1), 0);
+    a_.record_update(A, sec(2), 0);
+    a_.record_update(B, sec(1), 0);
+    a_.set_meta(5.0);
+
+    b_.record_update(A, sec(1), 0);
+    b_.record_update(B, sec(1), 0);
+    b_.record_update(B, sec(3), 0);
+    b_.set_meta(8.0);
+  }
+  ExtendedVersionVector a_, b_;
+};
+
+TEST_F(PaperExample, Concurrent) {
+  EXPECT_EQ(ExtendedVersionVector::compare(a_, b_), Order::kConcurrent);
+}
+
+TEST_F(PaperExample, LastConsistentTime) {
+  EXPECT_EQ(a_.last_consistent_time(b_), sec(1));
+  EXPECT_EQ(b_.last_consistent_time(a_), sec(1));
+}
+
+TEST_F(PaperExample, TripleAgainstReference) {
+  const TactTriple t = a_.triple_against(b_);
+  EXPECT_DOUBLE_EQ(t.numerical_error, 3.0);
+  // a misses B's 2nd update and has an extra A update: order error 2 under
+  // the missing+extra rule.
+  EXPECT_DOUBLE_EQ(t.order_error, 2.0);
+  EXPECT_DOUBLE_EQ(t.staleness_sec, 2.0);
+}
+
+TEST_F(PaperExample, SelfTripleZero) {
+  const TactTriple t = a_.triple_against(a_);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST_F(PaperExample, MissingFrom) {
+  const auto missing = a_.missing_from(b_);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].first, B);
+  EXPECT_EQ(missing[0].second, 2u);
+}
+
+TEST_F(PaperExample, MergeUnion) {
+  auto merged = a_;
+  merged.merge(b_);
+  EXPECT_EQ(merged.count_of(A), 2u);
+  EXPECT_EQ(merged.count_of(B), 2u);
+  EXPECT_EQ(merged.stamp_of(B, 2), sec(3));
+  // b has the later latest update (t=3) so its meta wins the tie-break.
+  EXPECT_DOUBLE_EQ(merged.meta(), 8.0);
+  // Merged dominates both inputs.
+  EXPECT_EQ(ExtendedVersionVector::compare(merged, a_), Order::kAfter);
+  EXPECT_EQ(ExtendedVersionVector::compare(merged, b_), Order::kAfter);
+}
+
+TEST(ExtendedVv, IdenticalHistoriesZeroStaleness) {
+  ExtendedVersionVector x, y;
+  x.record_update(A, sec(1), 1.0);
+  y.record_update(A, sec(1), 1.0);
+  const TactTriple t = x.triple_against(y);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(x.last_consistent_time(y), sec(1));
+}
+
+TEST(ExtendedVv, DivergenceFromFirstUpdate) {
+  ExtendedVersionVector x, y;
+  x.record_update(A, sec(2), 1.0);
+  y.record_update(B, sec(4), 2.0);
+  EXPECT_EQ(x.last_consistent_time(y), 0);
+  const TactTriple t = x.triple_against(y);
+  EXPECT_DOUBLE_EQ(t.order_error, 2.0);  // 1 missing + 1 extra
+  EXPECT_DOUBLE_EQ(t.staleness_sec, 4.0);
+}
+
+TEST(ExtendedVv, StalenessZeroWhenAheadOfReference) {
+  // Replica knows everything the reference knows and more: reference's
+  // latest is within our consistent prefix.
+  ExtendedVersionVector ahead, ref;
+  ref.record_update(A, sec(1), 1.0);
+  ahead.record_update(A, sec(1), 1.0);
+  ahead.record_update(A, sec(5), 2.0);
+  const TactTriple t = ahead.triple_against(ref);
+  EXPECT_DOUBLE_EQ(t.staleness_sec, 0.0);
+  EXPECT_DOUBLE_EQ(t.order_error, 1.0);  // one extra
+}
+
+TEST(ExtendedVv, PrefixDominanceOrder) {
+  ExtendedVersionVector x, y;
+  x.record_update(A, sec(1), 0);
+  y.record_update(A, sec(1), 0);
+  y.record_update(A, sec(2), 0);
+  EXPECT_EQ(ExtendedVersionVector::compare(x, y), Order::kBefore);
+  EXPECT_EQ(x.last_consistent_time(y), sec(1));
+  const TactTriple t = x.triple_against(y);
+  EXPECT_DOUBLE_EQ(t.staleness_sec, 1.0);
+  EXPECT_DOUBLE_EQ(t.order_error, 1.0);
+}
+
+TEST(ExtendedVv, MergeEmpty) {
+  ExtendedVersionVector x, empty;
+  x.record_update(A, sec(1), 3.0);
+  auto merged = x;
+  merged.merge(empty);
+  EXPECT_TRUE(merged == x);
+  auto other = empty;
+  other.merge(x);
+  EXPECT_EQ(other.count_of(A), 1u);
+}
+
+TEST(ExtendedVv, WireBytesGrowWithHistory) {
+  ExtendedVersionVector e;
+  const auto empty_size = e.wire_bytes();
+  e.record_update(A, sec(1), 0);
+  const auto one = e.wire_bytes();
+  e.record_update(A, sec(2), 0);
+  const auto two = e.wire_bytes();
+  EXPECT_GT(one, empty_size);
+  EXPECT_GT(two, one);
+}
+
+TEST(ExtendedVv, ToStringMentionsWritersAndTriple) {
+  ExtendedVersionVector e;
+  e.record_update(A, sec(1), 0);
+  e.set_meta(5.0);
+  e.set_triple(TactTriple{1, 2, 3});
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("n00:1"), std::string::npos);
+  EXPECT_NE(s.find("5.000"), std::string::npos);
+  EXPECT_NE(s.find("stale=3.000s"), std::string::npos);
+}
+
+// Parameterized: triple_against reference with varying divergence points.
+class DivergenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivergenceSweep, StalenessMatchesDivergencePoint) {
+  const int shared = GetParam();  // number of shared initial updates
+  ExtendedVersionVector x, y;
+  for (int i = 1; i <= shared; ++i) {
+    x.record_update(A, sec(i), 0);
+    y.record_update(A, sec(i), 0);
+  }
+  // y gets one extra update at t = shared + 5.
+  y.record_update(B, sec(shared + 5), 0);
+  const TactTriple t = x.triple_against(y);
+  EXPECT_DOUBLE_EQ(t.order_error, 1.0);
+  if (shared == 0) {
+    EXPECT_DOUBLE_EQ(t.staleness_sec, static_cast<double>(shared + 5));
+  } else {
+    EXPECT_DOUBLE_EQ(t.staleness_sec, 5.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedPrefix, DivergenceSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace idea::vv

@@ -1,0 +1,52 @@
+#include "vv/tact_triple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idea::vv {
+namespace {
+
+TEST(TactTriple, DefaultIsZero) {
+  TactTriple t;
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(TactTriple, NonZeroDetected) {
+  EXPECT_FALSE((TactTriple{1, 0, 0}).is_zero());
+  EXPECT_FALSE((TactTriple{0, 1, 0}).is_zero());
+  EXPECT_FALSE((TactTriple{0, 0, 0.5}).is_zero());
+}
+
+TEST(TactTriple, MaxOfComponentwise) {
+  const TactTriple a{1, 5, 2};
+  const TactTriple b{3, 2, 4};
+  const TactTriple m = TactTriple::max_of(a, b);
+  EXPECT_DOUBLE_EQ(m.numerical_error, 3);
+  EXPECT_DOUBLE_EQ(m.order_error, 5);
+  EXPECT_DOUBLE_EQ(m.staleness_sec, 4);
+}
+
+TEST(TactTriple, ToString) {
+  const TactTriple t{1.5, 2.0, 0.25};
+  EXPECT_EQ(t.to_string(), "<num=1.500, order=2.000, stale=0.250s>");
+}
+
+TEST(TripleMaxima, Validity) {
+  EXPECT_TRUE(TripleMaxima{}.valid());
+  EXPECT_FALSE((TripleMaxima{0, 1, 1}).valid());
+  EXPECT_FALSE((TripleMaxima{1, -2, 1}).valid());
+}
+
+TEST(TripleWeights, Validity) {
+  EXPECT_TRUE(TripleWeights{}.valid());
+  EXPECT_TRUE((TripleWeights{0.4, 0.0, 0.6}).valid());  // zero allowed
+  EXPECT_FALSE((TripleWeights{0, 0, 0}).valid());       // all-zero is not
+  EXPECT_FALSE((TripleWeights{-0.1, 0.5, 0.6}).valid());
+}
+
+TEST(TripleWeights, SumAndEquality) {
+  const TripleWeights w{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(w.sum(), 1.0);
+}
+
+}  // namespace
+}  // namespace idea::vv

@@ -1,0 +1,173 @@
+#include "vv/version_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace idea::vv {
+namespace {
+
+VersionVector make(std::initializer_list<std::pair<NodeId, std::uint64_t>>
+                       entries) {
+  VersionVector v;
+  for (const auto& [w, c] : entries) v.set(w, c);
+  return v;
+}
+
+TEST(VersionVector, EmptyIsZero) {
+  VersionVector v;
+  EXPECT_EQ(v.get(0), 0u);
+  EXPECT_EQ(v.total(), 0u);
+  EXPECT_EQ(v.writer_count(), 0u);
+}
+
+TEST(VersionVector, IncrementAndGet) {
+  VersionVector v;
+  EXPECT_EQ(v.increment(3), 1u);
+  EXPECT_EQ(v.increment(3), 2u);
+  EXPECT_EQ(v.increment(5), 1u);
+  EXPECT_EQ(v.get(3), 2u);
+  EXPECT_EQ(v.get(5), 1u);
+  EXPECT_EQ(v.total(), 3u);
+}
+
+TEST(VersionVector, SetZeroErases) {
+  VersionVector v;
+  v.set(2, 4);
+  v.set(2, 0);
+  EXPECT_EQ(v.writer_count(), 0u);
+}
+
+TEST(VersionVector, CompareEqual) {
+  const auto a = make({{1, 2}, {2, 3}});
+  const auto b = make({{1, 2}, {2, 3}});
+  EXPECT_EQ(VersionVector::compare(a, b), Order::kEqual);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(VersionVector, CompareDominance) {
+  const auto small = make({{1, 2}, {2, 3}});
+  const auto big = make({{1, 2}, {2, 4}});
+  EXPECT_EQ(VersionVector::compare(small, big), Order::kBefore);
+  EXPECT_EQ(VersionVector::compare(big, small), Order::kAfter);
+  EXPECT_TRUE(big.dominates(small));
+  EXPECT_FALSE(small.dominates(big));
+}
+
+TEST(VersionVector, CompareConcurrentPaperExample) {
+  // (A:5, B:3) is not comparable with (A:3, B:6) — §4.5.1.
+  const auto u = make({{0, 5}, {1, 3}});
+  const auto v = make({{0, 3}, {1, 6}});
+  EXPECT_EQ(VersionVector::compare(u, v), Order::kConcurrent);
+  EXPECT_TRUE(u.concurrent_with(v));
+  EXPECT_FALSE(u.dominates(v));
+  EXPECT_FALSE(v.dominates(u));
+}
+
+TEST(VersionVector, MissingEntryTreatedAsZero) {
+  const auto a = make({{1, 1}});
+  const auto b = make({{2, 1}});
+  EXPECT_EQ(VersionVector::compare(a, b), Order::kConcurrent);
+  const auto c = make({{1, 1}, {2, 1}});
+  EXPECT_EQ(VersionVector::compare(a, c), Order::kBefore);
+}
+
+TEST(VersionVector, DominatesIncludesEqual) {
+  const auto a = make({{1, 1}});
+  EXPECT_TRUE(a.dominates(a));
+}
+
+TEST(VersionVector, MergeIsLeastUpperBound) {
+  auto a = make({{0, 5}, {1, 3}});
+  const auto b = make({{0, 3}, {1, 6}, {2, 1}});
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 6u);
+  EXPECT_EQ(a.get(2), 1u);
+  EXPECT_TRUE(a.dominates(b));
+}
+
+TEST(VersionVector, ToStringFormat) {
+  const auto a = make({{0, 3}, {1, 5}});
+  EXPECT_EQ(a.to_string(), "(n00:3 n01:5)");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: partial-order laws over generated vectors.
+// ---------------------------------------------------------------------------
+
+class VvAlgebra : public ::testing::TestWithParam<int> {
+ protected:
+  static VersionVector random_vv(std::uint64_t seed) {
+    VersionVector v;
+    std::uint64_t s = seed;
+    const auto next = [&s] {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      return s >> 33;
+    };
+    const int writers = 1 + static_cast<int>(next() % 4);
+    for (int w = 0; w < writers; ++w) {
+      v.set(static_cast<NodeId>(next() % 6), next() % 5);
+    }
+    return v;
+  }
+};
+
+TEST_P(VvAlgebra, CompareAntisymmetric) {
+  const auto a = random_vv(static_cast<std::uint64_t>(GetParam()) * 2 + 1);
+  const auto b = random_vv(static_cast<std::uint64_t>(GetParam()) * 3 + 7);
+  const Order ab = VersionVector::compare(a, b);
+  const Order ba = VersionVector::compare(b, a);
+  switch (ab) {
+    case Order::kEqual: EXPECT_EQ(ba, Order::kEqual); break;
+    case Order::kBefore: EXPECT_EQ(ba, Order::kAfter); break;
+    case Order::kAfter: EXPECT_EQ(ba, Order::kBefore); break;
+    case Order::kConcurrent: EXPECT_EQ(ba, Order::kConcurrent); break;
+  }
+}
+
+TEST_P(VvAlgebra, MergeIsUpperBound) {
+  const auto a = random_vv(static_cast<std::uint64_t>(GetParam()) * 5 + 11);
+  const auto b = random_vv(static_cast<std::uint64_t>(GetParam()) * 7 + 13);
+  auto m = a;
+  m.merge(b);
+  EXPECT_TRUE(m.dominates(a));
+  EXPECT_TRUE(m.dominates(b));
+}
+
+TEST_P(VvAlgebra, MergeCommutative) {
+  const auto a = random_vv(static_cast<std::uint64_t>(GetParam()) * 11 + 3);
+  const auto b = random_vv(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  auto ab = a;
+  ab.merge(b);
+  auto ba = b;
+  ba.merge(a);
+  EXPECT_EQ(VersionVector::compare(ab, ba), Order::kEqual);
+}
+
+TEST_P(VvAlgebra, MergeIdempotent) {
+  const auto a = random_vv(static_cast<std::uint64_t>(GetParam()) * 17 + 19);
+  auto m = a;
+  m.merge(a);
+  EXPECT_TRUE(m == a);
+}
+
+TEST_P(VvAlgebra, MergeAssociative) {
+  const auto a = random_vv(static_cast<std::uint64_t>(GetParam()) * 19 + 1);
+  const auto b = random_vv(static_cast<std::uint64_t>(GetParam()) * 23 + 2);
+  const auto c = random_vv(static_cast<std::uint64_t>(GetParam()) * 29 + 3);
+  auto left = a;
+  left.merge(b);
+  left.merge(c);
+  auto right = b;
+  right.merge(c);
+  auto a2 = a;
+  a2.merge(right);
+  EXPECT_TRUE(left == a2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VvAlgebra, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace idea::vv
