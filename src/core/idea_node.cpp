@@ -85,9 +85,7 @@ bool IdeaNode::write(std::string content, double meta_delta) {
   }
   const SimTime local_now = transport_.local_time(self_);
   store_.apply_local(local_now, std::move(content), meta_delta);
-  temperature_.record_update(file_, transport_.now());
-  two_layer_.note_self(file_, temperature_.temperature(file_, transport_.now()),
-                       transport_.now());
+  note_replica_activity();
   if (config_.detect_on_write) probe();
   return true;
 }
@@ -95,6 +93,12 @@ bool IdeaNode::write(std::string content, double meta_delta) {
 std::vector<replica::Update> IdeaNode::read(bool trigger_detection) {
   if (trigger_detection) probe();
   return store_.ordered_contents();
+}
+
+void IdeaNode::note_replica_activity() {
+  const SimTime now = transport_.now();
+  temperature_.record_update(file_, now);
+  two_layer_.note_self(file_, temperature_.temperature(file_, now), now);
 }
 
 void IdeaNode::set_consistency_metric(double max_numerical, double max_order,

@@ -119,6 +119,13 @@ class IdeaNode {
   [[nodiscard]] std::vector<replica::Update> read(
       bool trigger_detection = false);
 
+  /// Record hosting activity for temperature purposes without issuing a
+  /// write.  Sharded replicas call this when they ingest a replicated
+  /// update: the whole replica group then stays hot and surfaces as the
+  /// file's top layer, so detection and resolution span every durable
+  /// copy rather than just the original writer.
+  void note_replica_activity();
+
   // ------------------------------------------------------------------
   // Table-1 developer API
   // ------------------------------------------------------------------

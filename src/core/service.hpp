@@ -40,25 +40,48 @@ class IdeaService final : public net::MessageHandler {
   /// Open (join) a shared file with its own configuration; returns the
   /// per-file IDEA stack.  Each file gets an independent overlay,
   /// detector, resolution manager and controller.
+  ///
+  /// Keep-first semantics: if the file is already open, the existing stack
+  /// is returned unchanged and `config` is ignored — reconfiguring a live
+  /// stack would silently discard its overlay/detector state, so callers
+  /// that really want different settings must close() first and reopen.
   IdeaNode& open(FileId file, IdeaConfig config) {
-    auto it = files_.find(file);
-    if (it == files_.end()) {
-      it = files_
-               .emplace(file, std::make_unique<IdeaNode>(
-                                  self_, file, transport_, config,
-                                  mix64(seed_ ^ (0xF11EULL + file)),
-                                  /*attach_transport=*/false))
-               .first;
-    }
-    return *it->second;
+    return open_via(file, std::move(config), transport_, self_,
+                    /*inbound=*/nullptr);
   }
 
-  /// Leave a shared file, tearing down its protocol stack.
-  void close(FileId file) { files_.erase(file); }
+  /// Open a file whose protocol stack runs in a private id space over a
+  /// custom transport.  Sharded deployments use this: each file's replica
+  /// group gets a rank-translating group transport, `protocol_self` is
+  /// this endpoint's dense rank within the group, and `inbound` (when
+  /// non-null) receives the file's raw transport messages so the caller
+  /// can translate ids before demultiplexing into the node's dispatcher.
+  /// Keep-first, exactly as open().
+  IdeaNode& open_via(FileId file, IdeaConfig config, net::Transport& via,
+                     NodeId protocol_self,
+                     net::MessageHandler* inbound = nullptr) {
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      auto node = std::make_unique<IdeaNode>(
+          protocol_self, file, via, std::move(config),
+          mix64(seed_ ^ (0xF11EULL + file)),
+          /*attach_transport=*/false);
+      Entry entry;
+      entry.sink = inbound != nullptr ? inbound : &node->dispatcher();
+      entry.node = std::move(node);
+      it = files_.emplace(file, std::move(entry)).first;
+    }
+    return *it->second.node;
+  }
+
+  /// Leave a shared file, tearing down its protocol stack.  Closing a file
+  /// that was never opened (or already closed) is a harmless no-op; the
+  /// return value says whether a stack was actually torn down.
+  bool close(FileId file) { return files_.erase(file) > 0; }
 
   [[nodiscard]] IdeaNode* find(FileId file) {
     auto it = files_.find(file);
-    return it == files_.end() ? nullptr : it->second.get();
+    return it == files_.end() ? nullptr : it->second.node.get();
   }
 
   [[nodiscard]] std::size_t open_files() const { return files_.size(); }
@@ -69,14 +92,19 @@ class IdeaService final : public net::MessageHandler {
   /// and gossip dedup tolerates the loss).
   void on_message(const net::Message& msg) override {
     auto it = files_.find(msg.file);
-    if (it != files_.end()) it->second->dispatcher().on_message(msg);
+    if (it != files_.end()) it->second.sink->on_message(msg);
   }
 
  private:
+  struct Entry {
+    std::unique_ptr<IdeaNode> node;
+    net::MessageHandler* sink = nullptr;  ///< Borrowed inbound handler.
+  };
+
   NodeId self_;
   net::Transport& transport_;
   std::uint64_t seed_;
-  std::map<FileId, std::unique_ptr<IdeaNode>> files_;
+  std::map<FileId, Entry> files_;
 };
 
 }  // namespace idea::core

@@ -72,6 +72,13 @@ class ReplicaStore {
   /// Updates in canonical display order (what a reader sees).
   [[nodiscard]] std::vector<Update> ordered_contents() const;
 
+  /// Read-only view of the raw update log, keyed by (writer, seq) — not
+  /// canonical order.  Lets scans (e.g. a kv lookup for one key) walk the
+  /// log in place instead of copying every update.
+  [[nodiscard]] const std::map<UpdateKey, Update>& log() const {
+    return log_;
+  }
+
   /// Order-sensitive digest of the canonical contents; equal digests mean
   /// replicas converged byte-for-byte.  Used heavily by convergence tests.
   [[nodiscard]] std::uint64_t content_digest() const;

@@ -1,0 +1,73 @@
+#pragma once
+/// \file group_transport.hpp
+/// \brief Per-file transport adapter mapping replica-group ranks to real
+///        endpoint ids.
+///
+/// The per-file protocol stack (RanSub tree, gossip peer sampling, the
+/// two-layer view) addresses a dense id space 0..k-1 with node 0 as the
+/// RanSub root.  A consistent-hash replica group, however, is an arbitrary
+/// subset of endpoints, e.g. {3, 17, 29}.  GroupTransport bridges the two:
+/// each group member's IdeaNode runs with its *rank* within the group as
+/// its node id, outbound messages have rank ids translated to real
+/// endpoint ids, and inbound messages are translated back before being
+/// demultiplexed into the node's dispatcher.  Latency, loss and clock skew
+/// still come from the real endpoint pair, so the group inherits the
+/// simulated topology faithfully.
+
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace idea::shard {
+
+class GroupTransport final : public net::Transport,
+                             public net::MessageHandler {
+ public:
+  /// `inner` is the endpoint-id-space transport (borrowed; must outlive
+  /// this adapter *and* the IdeaNode using it, which cancels its timers
+  /// through here on destruction).  `members` maps rank -> endpoint id and
+  /// must be identical on every member, in the same order.
+  GroupTransport(net::Transport& inner, std::vector<NodeId> members,
+                 std::uint32_t self_rank);
+
+  /// Where translated inbound messages go (the IdeaNode's dispatcher).
+  /// Set after the node is constructed; messages arriving earlier drop.
+  void set_sink(net::MessageHandler* sink) { sink_ = sink; }
+
+  [[nodiscard]] const std::vector<NodeId>& members() const {
+    return members_;
+  }
+  [[nodiscard]] std::uint32_t self_rank() const { return self_rank_; }
+
+  /// Rank of a real endpoint id within the group; kNoNode if absent.
+  [[nodiscard]] NodeId rank_of(NodeId endpoint) const;
+
+  // --- net::Transport (rank id space) ---------------------------------
+  void attach(NodeId, net::MessageHandler*) override {}  // service-managed
+  void detach(NodeId) override {}
+  void send(net::Message msg) override;
+  [[nodiscard]] SimTime now() const override { return inner_.now(); }
+  [[nodiscard]] SimTime local_time(NodeId rank) const override;
+  std::uint64_t call_after(SimDuration delay,
+                           std::function<void()> fn) override {
+    return inner_.call_after(delay, std::move(fn));
+  }
+  std::uint64_t call_every(SimDuration period,
+                           std::function<void()> fn) override {
+    return inner_.call_every(period, std::move(fn));
+  }
+  void cancel_call(std::uint64_t handle) override {
+    inner_.cancel_call(handle);
+  }
+
+  // --- net::MessageHandler (endpoint id space, via IdeaService) --------
+  void on_message(const net::Message& msg) override;
+
+ private:
+  net::Transport& inner_;
+  std::vector<NodeId> members_;  ///< rank -> endpoint id
+  std::uint32_t self_rank_;
+  net::MessageHandler* sink_ = nullptr;
+};
+
+}  // namespace idea::shard

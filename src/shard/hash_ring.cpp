@@ -1,0 +1,87 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace idea::shard {
+
+HashRing::HashRing(HashRingParams params) : params_(params) {}
+
+std::uint64_t HashRing::point_hash(NodeId node, std::uint32_t vnode) const {
+  // Double mixing decorrelates the (node, vnode) lattice; a single mix64
+  // over the packed pair leaves visible stripes for small vnode counts.
+  return mix64(params_.seed ^
+               mix64((static_cast<std::uint64_t>(node) << 32) | vnode));
+}
+
+std::uint64_t HashRing::key_hash(FileId file) const {
+  return mix64(params_.seed ^ (0xF17EULL << 32) ^ file);
+}
+
+void HashRing::add_node(NodeId node) {
+  if (!nodes_.insert(node).second) return;
+  for (std::uint32_t v = 0; v < params_.vnodes_per_node; ++v) {
+    // Collisions across 64 bits are vanishingly rare; keep the first owner
+    // so add/remove of another node can never silently reassign a point.
+    ring_.emplace(point_hash(node, v), node);
+  }
+}
+
+bool HashRing::remove_node(NodeId node) {
+  if (nodes_.erase(node) == 0) return false;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node ? ring_.erase(it) : std::next(it);
+  }
+  return true;
+}
+
+NodeId HashRing::primary(FileId file) const {
+  if (ring_.empty()) return kNoNode;
+  auto it = ring_.lower_bound(key_hash(file));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<NodeId> HashRing::replicas(FileId file, std::uint32_t k) const {
+  std::vector<NodeId> group;
+  if (ring_.empty() || k == 0) return group;
+  const std::size_t want =
+      std::min<std::size_t>(k, nodes_.size());
+  group.reserve(want);
+  auto it = ring_.lower_bound(key_hash(file));
+  while (group.size() < want) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(group.begin(), group.end(), it->second) == group.end()) {
+      group.push_back(it->second);
+    }
+    ++it;
+  }
+  return group;
+}
+
+RebalanceStats HashRing::rebalance(const HashRing& before,
+                                   const HashRing& after,
+                                   const std::vector<FileId>& keys,
+                                   std::uint32_t k) {
+  RebalanceStats stats;
+  stats.keys = keys.size();
+  for (FileId key : keys) {
+    if (before.primary(key) != after.primary(key)) ++stats.moved;
+    if (before.replicas(key, k) != after.replicas(key, k)) {
+      ++stats.group_changed;
+    }
+  }
+  return stats;
+}
+
+std::map<NodeId, std::size_t> HashRing::primary_load(
+    const std::vector<FileId>& keys) const {
+  std::map<NodeId, std::size_t> load;
+  for (NodeId n : nodes_) load[n] = 0;
+  for (FileId key : keys) {
+    const NodeId owner = primary(key);
+    if (owner != kNoNode) ++load[owner];
+  }
+  return load;
+}
+
+}  // namespace idea::shard

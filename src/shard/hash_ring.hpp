@@ -1,0 +1,98 @@
+#pragma once
+/// \file hash_ring.hpp
+/// \brief Consistent-hash placement ring: FileId -> home replica group.
+///
+/// The multi-tenant cluster layer spreads files across service endpoints
+/// the standard way: every endpoint owns `vnodes_per_node` pseudo-random
+/// points on a 64-bit ring, a file hashes to a ring position, and its
+/// replica group is the next k *distinct* endpoints clockwise.  Virtual
+/// nodes smooth the per-endpoint load; consistent hashing guarantees that
+/// an endpoint joining or leaving only remaps the keys it gains or loses
+/// (~1/N of the keyspace), never reshuffling the rest — the property the
+/// rebalance() helper quantifies and tests/shard/hash_ring_test.cpp pins.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace idea::shard {
+
+struct HashRingParams {
+  /// Ring points per endpoint.  More points = smoother load at the cost of
+  /// ring size; 64-128 is the usual sweet spot.
+  std::uint32_t vnodes_per_node = 96;
+  /// Salt for the point/key hash streams, so independent rings (e.g. a
+  /// planned-next-epoch ring) can be compared without aliasing.
+  std::uint64_t seed = 0x51A2DULL;
+};
+
+/// What a membership change did to a keyset's placement.
+struct RebalanceStats {
+  std::size_t keys = 0;           ///< Keys examined.
+  std::size_t moved = 0;          ///< Keys whose primary endpoint changed.
+  std::size_t group_changed = 0;  ///< Keys whose replica group changed.
+
+  [[nodiscard]] double moved_fraction() const {
+    return keys == 0 ? 0.0 : static_cast<double>(moved) /
+                                 static_cast<double>(keys);
+  }
+  [[nodiscard]] double group_changed_fraction() const {
+    return keys == 0 ? 0.0 : static_cast<double>(group_changed) /
+                                 static_cast<double>(keys);
+  }
+};
+
+class HashRing {
+ public:
+  explicit HashRing(HashRingParams params = {});
+
+  /// Add an endpoint's virtual nodes to the ring.  Idempotent.
+  void add_node(NodeId node);
+
+  /// Remove an endpoint.  Returns false if it was not on the ring.
+  bool remove_node(NodeId node);
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return nodes_.count(node) > 0;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::set<NodeId>& nodes() const { return nodes_; }
+
+  /// The endpoint owning `file`'s ring position (kNoNode on an empty ring).
+  [[nodiscard]] NodeId primary(FileId file) const;
+
+  /// The first min(k, node_count) distinct endpoints clockwise from the
+  /// file's position — its replica group, primary first.  The order is
+  /// deterministic, so every caller derives the same group (and the same
+  /// rank assignment within it).
+  [[nodiscard]] std::vector<NodeId> replicas(FileId file,
+                                             std::uint32_t k) const;
+
+  /// Compare key placement between two ring states (typically before and
+  /// after a membership change) over an explicit keyset.
+  static RebalanceStats rebalance(const HashRing& before,
+                                  const HashRing& after,
+                                  const std::vector<FileId>& keys,
+                                  std::uint32_t k);
+
+  /// Per-endpoint primary-key counts over a keyset (load-balance probe).
+  [[nodiscard]] std::map<NodeId, std::size_t> primary_load(
+      const std::vector<FileId>& keys) const;
+
+  [[nodiscard]] std::size_t point_count() const { return ring_.size(); }
+  [[nodiscard]] const HashRingParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] std::uint64_t point_hash(NodeId node,
+                                         std::uint32_t vnode) const;
+  [[nodiscard]] std::uint64_t key_hash(FileId file) const;
+
+  HashRingParams params_;
+  std::map<std::uint64_t, NodeId> ring_;  ///< point -> owning endpoint
+  std::set<NodeId> nodes_;
+};
+
+}  // namespace idea::shard

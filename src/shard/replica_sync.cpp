@@ -1,0 +1,64 @@
+#include "shard/replica_sync.hpp"
+
+#include <any>
+#include <utility>
+
+namespace idea::shard {
+
+ReplicaSyncAgent::ReplicaSyncAgent(core::IdeaNode& node,
+                                   net::Transport& transport,
+                                   std::uint32_t group_size)
+    : node_(node), transport_(transport), group_size_(group_size) {
+  node_.dispatcher().route("shard.", this);
+}
+
+ReplicaSyncAgent::~ReplicaSyncAgent() { node_.dispatcher().unroute("shard."); }
+
+bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
+  if (!node_.write(std::move(content), meta_delta)) {
+    ++stats_.blocked_puts;
+    return false;
+  }
+  ++stats_.puts;
+
+  const replica::ReplicaStore& store = node_.store();
+  const replica::Update* u =
+      store.find(replica::UpdateKey{node_.id(), store.local_seq()});
+  if (u == nullptr) return true;  // defensive; apply_local just stored it
+
+  std::vector<replica::Update> payload{*u};
+  const auto bytes = static_cast<std::uint32_t>(16 + u->wire_bytes());
+  for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
+    if (rank == node_.id()) continue;
+    net::Message msg;
+    msg.from = node_.id();
+    msg.to = rank;
+    msg.file = node_.file();
+    msg.type = kReplicateType;
+    msg.payload = payload;
+    msg.wire_bytes = bytes;
+    transport_.send(std::move(msg));
+    ++stats_.pushed;
+  }
+  return true;
+}
+
+void ReplicaSyncAgent::on_message(const net::Message& msg) {
+  if (msg.type != kReplicateType) return;
+  const auto& updates =
+      std::any_cast<const std::vector<replica::Update>&>(msg.payload);
+  bool any_applied = false;
+  for (const replica::Update& u : updates) {
+    if (node_.store().has(u.key)) {
+      ++stats_.redundant;
+      continue;
+    }
+    if (node_.store().apply_remote(u)) {
+      ++stats_.applied;
+      any_applied = true;
+    }
+  }
+  if (any_applied) node_.note_replica_activity();
+}
+
+}  // namespace idea::shard

@@ -1,0 +1,62 @@
+#pragma once
+/// \file replica_sync.hpp
+/// \brief Pushes application writes to the rest of a file's replica group.
+///
+/// IDEA's own machinery ships update contents only inside resolution
+/// rounds among top-layer writers; a replica group needs every durable
+/// copy to hold the data even when a single coordinator does all the
+/// writing.  ReplicaSyncAgent closes that gap: the coordinator's put()
+/// applies the write locally, then pushes the new update to every other
+/// rank as a "shard.replicate" message.  Receivers apply it idempotently
+/// (ReplicaStore::apply_remote buffers out-of-order arrivals) and record
+/// hosting activity so the whole group stays in the file's top layer —
+/// from there, the stock detection/resolution protocols keep concurrently
+/// written replicas convergent.
+
+#include <string>
+#include <vector>
+
+#include "core/idea_node.hpp"
+#include "net/transport.hpp"
+
+namespace idea::shard {
+
+struct ReplicaSyncStats {
+  std::uint64_t puts = 0;            ///< Local writes accepted.
+  std::uint64_t blocked_puts = 0;    ///< Writes refused mid-resolution.
+  std::uint64_t pushed = 0;          ///< Updates sent to peers.
+  std::uint64_t applied = 0;         ///< Remote updates applied here.
+  std::uint64_t redundant = 0;       ///< Remote updates we already held.
+};
+
+class ReplicaSyncAgent final : public net::MessageHandler {
+ public:
+  /// `node` and `transport` are borrowed; `transport` is the file's
+  /// rank-space group transport and `group_size` its member count.
+  /// Registers itself on the node's dispatcher under "shard.".
+  ReplicaSyncAgent(core::IdeaNode& node, net::Transport& transport,
+                   std::uint32_t group_size);
+  ~ReplicaSyncAgent() override;
+
+  ReplicaSyncAgent(const ReplicaSyncAgent&) = delete;
+  ReplicaSyncAgent& operator=(const ReplicaSyncAgent&) = delete;
+
+  /// Apply a write locally and push it to every other group member.
+  /// Returns false (nothing applied, nothing pushed) while resolution
+  /// blocks updates, mirroring IdeaNode::write.
+  bool put(std::string content, double meta_delta);
+
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] const ReplicaSyncStats& stats() const { return stats_; }
+
+  static constexpr const char* kReplicateType = "shard.replicate";
+
+ private:
+  core::IdeaNode& node_;
+  net::Transport& transport_;
+  std::uint32_t group_size_;
+  ReplicaSyncStats stats_;
+};
+
+}  // namespace idea::shard

@@ -1,0 +1,64 @@
+#include "shard/router.hpp"
+
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::shard {
+
+std::vector<NodeId> ShardRouter::group_of(FileId file) const {
+  return cluster_.group_of(file);
+}
+
+NodeId ShardRouter::coordinator_of(FileId file) const {
+  return cluster_.coordinator_endpoint(file);
+}
+
+core::IdeaNode* ShardRouter::open(FileId file) {
+  const std::size_t before = cluster_.placed_files();
+  core::IdeaNode* coordinator = cluster_.ensure_open(file);
+  if (coordinator != nullptr && cluster_.placed_files() > before) {
+    ++stats_.opens;
+  }
+  return coordinator;
+}
+
+bool ShardRouter::write(FileId file, std::string content,
+                        double meta_delta) {
+  if (open(file) == nullptr) return false;
+  const auto [agent, endpoint] = cluster_.coordinator(file);
+  if (agent == nullptr) return false;
+  ++stats_.coordinator_ops[endpoint];
+  if (!agent->put(std::move(content), meta_delta)) {
+    ++stats_.blocked_writes;
+    return false;
+  }
+  ++stats_.writes;
+  return true;
+}
+
+core::IdeaNode* ShardRouter::read_replica(FileId file) {
+  core::IdeaNode* coordinator = open(file);
+  if (coordinator == nullptr) return nullptr;
+  ++stats_.reads;
+  ++stats_.coordinator_ops[cluster_.coordinator(file).second];
+  return coordinator;
+}
+
+std::vector<replica::Update> ShardRouter::read(FileId file) {
+  core::IdeaNode* coordinator = read_replica(file);
+  return coordinator == nullptr ? std::vector<replica::Update>{}
+                                : coordinator->read();
+}
+
+double ShardRouter::level(FileId file) const {
+  if (!cluster_.is_placed(file)) return 1.0;
+  core::IdeaNode* coordinator = cluster_.replica_at_rank(file, 0);
+  return coordinator == nullptr ? 1.0 : coordinator->current_level();
+}
+
+bool ShardRouter::close(FileId file) {
+  const bool closed = cluster_.close_file(file);
+  if (closed) ++stats_.closes;
+  return closed;
+}
+
+}  // namespace idea::shard

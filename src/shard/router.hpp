@@ -1,0 +1,80 @@
+#pragma once
+/// \file router.hpp
+/// \brief Application-facing front door of the sharded cluster.
+///
+/// Clients name files; the router resolves each file's replica group on
+/// the consistent-hash ring and forwards opens, writes, reads and closes
+/// to the right endpoints.  Writes go to the file's coordinator (the
+/// primary replica, rank 0) whose ReplicaSyncAgent pushes the update to
+/// the rest of the group; reads are served by the coordinator's replica.
+/// The router keeps per-coordinator op counts so deployments can check
+/// that the ring is actually spreading load.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "replica/update.hpp"
+#include "util/ids.hpp"
+
+namespace idea::core {
+class IdeaNode;
+}
+
+namespace idea::shard {
+
+class ShardedCluster;
+
+struct RouterStats {
+  std::uint64_t opens = 0;           ///< Placements created on demand.
+  std::uint64_t writes = 0;
+  std::uint64_t blocked_writes = 0;  ///< Writes refused mid-resolution.
+  std::uint64_t reads = 0;
+  std::uint64_t closes = 0;
+  /// Ops handled per coordinator endpoint (load-balance probe).
+  std::map<NodeId, std::uint64_t> coordinator_ops;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardedCluster& cluster) : cluster_(cluster) {}
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// The file's replica group (primary first) per the current ring.
+  [[nodiscard]] std::vector<NodeId> group_of(FileId file) const;
+
+  /// The endpoint coordinating the file (kNoNode on an empty ring).
+  [[nodiscard]] NodeId coordinator_of(FileId file) const;
+
+  /// Ensure the file is open on its whole replica group; returns the
+  /// coordinator's replica stack (nullptr on an empty ring).
+  core::IdeaNode* open(FileId file);
+
+  /// Route a write to the file's coordinator, which replicates it to the
+  /// group.  Opens the file on first touch.
+  bool write(FileId file, std::string content, double meta_delta);
+
+  /// Read the file in canonical order from its coordinator replica.
+  [[nodiscard]] std::vector<replica::Update> read(FileId file);
+
+  /// The coordinator replica for reading in place without copying the
+  /// log (still counted as a routed read).  nullptr on an empty ring.
+  [[nodiscard]] core::IdeaNode* read_replica(FileId file);
+
+  /// The consistency level the coordinator currently attaches to the
+  /// file; 1.0 for files that were never opened.
+  [[nodiscard]] double level(FileId file) const;
+
+  /// Close the file on every group member.  Returns whether it was open.
+  bool close(FileId file);
+
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
+ private:
+  ShardedCluster& cluster_;
+  RouterStats stats_;
+};
+
+}  // namespace idea::shard

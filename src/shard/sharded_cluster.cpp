@@ -1,0 +1,142 @@
+#include "shard/sharded_cluster.hpp"
+
+#include <algorithm>
+
+namespace idea::shard {
+
+ShardedCluster::ShardedCluster(ShardedClusterConfig config)
+    : config_(std::move(config)), ring_(config_.ring) {
+  // Re-sync unconditionally: a caller that set `endpoints` but forgot
+  // sync_sizes() would otherwise hand the latency model a smaller node
+  // count and read out of bounds on the first cross-endpoint message.
+  config_.sync_sizes();
+  latency_ = std::make_unique<sim::PlanetLabLatency>(config_.latency);
+  sim_transport_ = std::make_unique<net::SimTransport>(
+      sim_, *latency_, config_.transport);
+  if (config_.batching) {
+    batching_ = std::make_unique<net::BatchingTransport>(*sim_transport_,
+                                                         config_.batch);
+  }
+  services_.reserve(config_.endpoints);
+  for (NodeId n = 0; n < config_.endpoints; ++n) {
+    ring_.add_node(n);
+    services_.push_back(std::make_unique<core::IdeaService>(
+        n, edge(), mix64(config_.seed ^ (0x5E4D1CEULL + n))));
+  }
+  router_ = std::make_unique<ShardRouter>(*this);
+}
+
+ShardedCluster::~ShardedCluster() {
+  // Teardown order matters: sync agents unroute from their node's
+  // dispatcher, so they go before the services destroy the nodes; the
+  // nodes cancel timers through their GroupTransport, so the group
+  // transports (in files_) must outlive the services.
+  for (auto& [file, group] : files_) group.sync.clear();
+  services_.clear();
+  files_.clear();
+}
+
+void ShardedCluster::place(FileId first, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) ensure_open(first + i);
+}
+
+core::IdeaNode* ShardedCluster::ensure_open(FileId file) {
+  auto it = files_.find(file);
+  if (it != files_.end()) {
+    return services_[it->second.members.front()]->find(file);
+  }
+  const std::vector<NodeId> members = group_of(file);
+  if (members.empty()) return nullptr;
+  // Refuse to adopt a file someone opened directly on a service: its
+  // stack runs in endpoint-id space over the shared transport, so wiring
+  // a rank-space replication group around it would misroute every push
+  // (open_via's keep-first would hand us that node unchanged).
+  for (NodeId member : members) {
+    if (services_[member]->find(file) != nullptr) return nullptr;
+  }
+
+  // Scope the per-file protocol to the group: the RanSub tree, gossip peer
+  // space and bottom layer all cover exactly the k replicas, in rank space.
+  core::IdeaConfig idea = config_.idea;
+  const auto k = static_cast<std::uint32_t>(members.size());
+  idea.ransub.nodes = k;
+  idea.gossip.nodes = k;
+  idea.two_layer.all_nodes = k;
+
+  FileGroup group;
+  group.members = members;
+  group.transports.reserve(members.size());
+  group.sync.reserve(members.size());
+  for (std::uint32_t rank = 0; rank < k; ++rank) {
+    auto transport =
+        std::make_unique<GroupTransport>(edge(), members, rank);
+    core::IdeaNode& node = services_[members[rank]]->open_via(
+        file, idea, *transport, rank, transport.get());
+    transport->set_sink(&node.dispatcher());
+    group.sync.push_back(
+        std::make_unique<ReplicaSyncAgent>(node, *transport, k));
+    group.transports.push_back(std::move(transport));
+    node.start();
+  }
+  core::IdeaNode* coordinator = services_[members.front()]->find(file);
+  files_.emplace(file, std::move(group));
+  return coordinator;
+}
+
+bool ShardedCluster::close_file(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return false;
+  // Sync agents and nodes unhook from each other's dispatcher; drop the
+  // agents first, then the stacks, then the group transports they used.
+  it->second.sync.clear();
+  for (NodeId member : it->second.members) services_[member]->close(file);
+  files_.erase(it);
+  return true;
+}
+
+core::IdeaNode* ShardedCluster::replica(FileId file, NodeId endpoint) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return nullptr;
+  const auto& members = it->second.members;
+  if (std::find(members.begin(), members.end(), endpoint) == members.end()) {
+    return nullptr;
+  }
+  return services_[endpoint]->find(file);
+}
+
+core::IdeaNode* ShardedCluster::replica_at_rank(FileId file,
+                                                std::uint32_t rank) {
+  auto it = files_.find(file);
+  if (it == files_.end() || rank >= it->second.members.size()) {
+    return nullptr;
+  }
+  return services_[it->second.members[rank]]->find(file);
+}
+
+ReplicaSyncAgent* ShardedCluster::sync_agent(FileId file,
+                                             std::uint32_t rank) {
+  auto it = files_.find(file);
+  if (it == files_.end() || rank >= it->second.sync.size()) return nullptr;
+  return it->second.sync[rank].get();
+}
+
+bool ShardedCluster::converged(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return true;  // nothing placed, nothing diverged
+  std::uint64_t digest = 0;
+  bool first = true;
+  for (NodeId member : it->second.members) {
+    core::IdeaNode* node = services_[member]->find(file);
+    if (node == nullptr) return false;
+    const std::uint64_t d = node->store().content_digest();
+    if (first) {
+      digest = d;
+      first = false;
+    } else if (d != digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace idea::shard

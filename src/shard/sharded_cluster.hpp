@@ -1,0 +1,175 @@
+#pragma once
+/// \file sharded_cluster.hpp
+/// \brief Multi-tenant deployment: N IdeaService endpoints, files placed
+///        across them by consistent hashing.
+///
+/// The seed system runs one IDEA stack per file on a handful of nodes;
+/// this layer is the production-scale arrangement the ROADMAP asks for.
+/// A ShardedCluster stands up `endpoints` IdeaService endpoints over one
+/// simulated transport (optionally wrapped in a BatchingTransport so the
+/// routing fan-out coalesces per tick), and places every file on the
+/// replica group the HashRing assigns it.  Each file's protocol stack is
+/// scoped to its group through a rank-translating GroupTransport, so the
+/// group forms the file's private RanSub tree / gossip mesh / top layer —
+/// §4.1's per-file independence, now across thousands of tenants.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/service.hpp"
+#include "net/batching_transport.hpp"
+#include "net/sim_transport.hpp"
+#include "shard/group_transport.hpp"
+#include "shard/hash_ring.hpp"
+#include "shard/replica_sync.hpp"
+#include "shard/router.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace idea::shard {
+
+struct ShardedClusterConfig {
+  std::uint32_t endpoints = 8;    ///< Service endpoints to stand up.
+  std::uint32_t replication = 3;  ///< Replica-group size k per file.
+  HashRingParams ring;
+  core::IdeaConfig idea;  ///< Template; group-scoped copies per file.
+  sim::PlanetLabParams latency;
+  net::SimTransportOptions transport;
+  bool batching = true;  ///< Coalesce same-pair sends per tick.
+  net::BatchingOptions batch;
+  std::uint64_t seed = 2007;
+
+  ShardedClusterConfig() { sync_sizes(); }
+
+  /// Propagate `endpoints` into the nested sizes.  Call after changing it.
+  void sync_sizes() {
+    latency.nodes = endpoints;
+    transport.node_count = endpoints;
+  }
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterConfig config);
+  ~ShardedCluster();
+
+  // ------------------------------------------------------------------
+  // Placement
+  // ------------------------------------------------------------------
+
+  /// Open files `first .. first+count-1` on their replica groups.
+  void place(FileId first, std::uint32_t count);
+
+  /// Ensure one file is open on its whole group (idempotent); returns the
+  /// coordinator's replica stack, nullptr on an empty ring.
+  core::IdeaNode* ensure_open(FileId file);
+
+  /// Tear the file down on every group member.  Unknown files: no-op.
+  bool close_file(FileId file);
+
+  [[nodiscard]] bool is_placed(FileId file) const {
+    return files_.count(file) > 0;
+  }
+  [[nodiscard]] std::size_t placed_files() const { return files_.size(); }
+
+  /// The replica group the ring assigns `file` (primary first).
+  [[nodiscard]] std::vector<NodeId> group_of(FileId file) const {
+    return ring_.replicas(file, config_.replication);
+  }
+
+  /// The endpoint coordinating `file`: the cached placement when the file
+  /// is open (no ring walk on the hot routing path), the ring's answer
+  /// otherwise.  kNoNode on an empty ring.
+  [[nodiscard]] NodeId coordinator_endpoint(FileId file) const {
+    auto it = files_.find(file);
+    if (it != files_.end()) return it->second.members.front();
+    return ring_.primary(file);
+  }
+
+  // ------------------------------------------------------------------
+  // Access
+  // ------------------------------------------------------------------
+
+  /// The file's replica stack on `endpoint`; nullptr if that endpoint is
+  /// not in the file's group or the file is not placed.
+  [[nodiscard]] core::IdeaNode* replica(FileId file, NodeId endpoint);
+
+  /// The file's replica stack at group rank `rank` (0 = coordinator).
+  [[nodiscard]] core::IdeaNode* replica_at_rank(FileId file,
+                                                std::uint32_t rank);
+
+  /// The replication agent at group rank `rank` for a placed file.
+  [[nodiscard]] ReplicaSyncAgent* sync_agent(FileId file,
+                                             std::uint32_t rank);
+
+  /// The coordinator's sync agent and endpoint id in one placement
+  /// lookup (the router's per-op fast path); {nullptr, kNoNode} when the
+  /// file is not placed.
+  [[nodiscard]] std::pair<ReplicaSyncAgent*, NodeId> coordinator(
+      FileId file) {
+    auto it = files_.find(file);
+    if (it == files_.end()) return {nullptr, kNoNode};
+    return {it->second.sync.front().get(), it->second.members.front()};
+  }
+
+  /// True iff every group replica holds byte-identical canonical contents.
+  [[nodiscard]] bool converged(FileId file);
+
+  [[nodiscard]] core::IdeaService& service(NodeId endpoint) {
+    return *services_.at(endpoint);
+  }
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(services_.size());
+  }
+
+  [[nodiscard]] ShardRouter& router() { return *router_; }
+  [[nodiscard]] HashRing& ring() { return ring_; }
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const ShardedClusterConfig& config() const {
+    return config_;
+  }
+
+  /// The transport endpoints attach to (batching decorator when enabled).
+  [[nodiscard]] net::Transport& edge() {
+    return batching_ ? static_cast<net::Transport&>(*batching_)
+                     : *sim_transport_;
+  }
+  /// Null when batching is disabled.
+  [[nodiscard]] net::BatchingTransport* batching() {
+    return batching_.get();
+  }
+  /// What actually hit the simulated wire (envelopes after batching).
+  [[nodiscard]] const net::MessageCounters& wire_counters() const {
+    return sim_transport_->counters();
+  }
+
+  // ------------------------------------------------------------------
+  // Time
+  // ------------------------------------------------------------------
+
+  void run_for(SimDuration d) { sim_.run_for(d); }
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+ private:
+  struct FileGroup {
+    std::vector<NodeId> members;  ///< rank -> endpoint id
+    std::vector<std::unique_ptr<GroupTransport>> transports;  ///< by rank
+    std::vector<std::unique_ptr<ReplicaSyncAgent>> sync;      ///< by rank
+  };
+
+  ShardedClusterConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::PlanetLabLatency> latency_;
+  std::unique_ptr<net::SimTransport> sim_transport_;
+  std::unique_ptr<net::BatchingTransport> batching_;
+  HashRing ring_;
+  // files_ must outlive services_ (declared before = destroyed after):
+  // IdeaNode destructors cancel timers through their GroupTransport.
+  std::unordered_map<FileId, FileGroup> files_;
+  std::vector<std::unique_ptr<core::IdeaService>> services_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+}  // namespace idea::shard

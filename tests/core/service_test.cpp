@@ -53,8 +53,29 @@ TEST_F(ServiceFixture, FindAndClose) {
   services_[0]->open(1, file_config());
   EXPECT_NE(services_[0]->find(1), nullptr);
   EXPECT_EQ(services_[0]->find(2), nullptr);
-  services_[0]->close(1);
+  EXPECT_TRUE(services_[0]->close(1));
   EXPECT_EQ(services_[0]->find(1), nullptr);
+}
+
+TEST_F(ServiceFixture, CloseOfUnknownFileIsANoOp) {
+  EXPECT_FALSE(services_[0]->close(42));
+  services_[0]->open(1, file_config());
+  EXPECT_FALSE(services_[0]->close(2));   // never opened
+  EXPECT_TRUE(services_[0]->close(1));
+  EXPECT_FALSE(services_[0]->close(1));   // already closed
+  EXPECT_EQ(services_[0]->open_files(), 0u);
+}
+
+TEST_F(ServiceFixture, OpenKeepsFirstConfig) {
+  IdeaConfig strict = file_config();
+  strict.controller.hint = 0.95;
+  IdeaConfig lax = file_config();
+  lax.controller.hint = 0.5;
+  IdeaNode& first = services_[0]->open(1, strict);
+  IdeaNode& again = services_[0]->open(1, lax);
+  EXPECT_EQ(&first, &again);
+  // Keep-first semantics: the second config is ignored outright.
+  EXPECT_DOUBLE_EQ(again.controller().hint(), 0.95);
 }
 
 TEST_F(ServiceFixture, SingleFileProtocolWorksThroughService) {

@@ -1,0 +1,174 @@
+#include "shard/sharded_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace idea::shard {
+namespace {
+
+ShardedClusterConfig small_cluster_config(std::uint64_t seed = 4207) {
+  ShardedClusterConfig cfg;
+  cfg.endpoints = 8;
+  cfg.replication = 3;
+  cfg.seed = seed;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{10, 10, 10};
+  cfg.idea.controller.mode = core::AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.9;
+  return cfg;
+}
+
+TEST(ShardedClusterTest, PlacementMatchesRing) {
+  ShardedCluster cluster(small_cluster_config());
+  cluster.place(1, 40);
+  EXPECT_EQ(cluster.placed_files(), 40u);
+
+  std::size_t open_total = 0;
+  for (NodeId e = 0; e < cluster.size(); ++e) {
+    open_total += cluster.service(e).open_files();
+  }
+  EXPECT_EQ(open_total, 40u * 3u);
+
+  for (FileId f = 1; f <= 40; ++f) {
+    const std::vector<NodeId> group = cluster.ring().replicas(f, 3);
+    ASSERT_EQ(group.size(), 3u);
+    EXPECT_EQ(group, cluster.group_of(f));
+    for (NodeId member : group) {
+      core::IdeaNode* node = cluster.replica(f, member);
+      ASSERT_NE(node, nullptr);
+      EXPECT_EQ(node->file(), f);
+    }
+    for (NodeId e = 0; e < cluster.size(); ++e) {
+      if (std::find(group.begin(), group.end(), e) == group.end()) {
+        EXPECT_EQ(cluster.replica(f, e), nullptr);
+        EXPECT_EQ(cluster.service(e).find(f), nullptr);
+      }
+    }
+  }
+}
+
+TEST(ShardedClusterTest, WriteReplicatesAcrossGroup) {
+  ShardedCluster cluster(small_cluster_config());
+  const FileId file = 7;
+  ASSERT_TRUE(cluster.router().write(file, "alpha", 1.0));
+  cluster.run_for(sec(2));  // one replication hop
+
+  for (std::uint32_t rank = 0; rank < 3; ++rank) {
+    core::IdeaNode* node = cluster.replica_at_rank(file, rank);
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->store().update_count(), 1u)
+        << "rank " << rank << " missed the replicated update";
+  }
+  EXPECT_TRUE(cluster.converged(file));
+  EXPECT_EQ(cluster.sync_agent(file, 0)->stats().pushed, 2u);
+}
+
+TEST(ShardedClusterTest, ConflictingWritesConvergeThroughResolution) {
+  ShardedCluster cluster(small_cluster_config());
+  const FileId file = 11;
+  cluster.ensure_open(file);
+  // Warm the group so its top layer exists before the conflict.
+  ASSERT_TRUE(cluster.sync_agent(file, 0)->put("warm", 0.0));
+  cluster.run_for(sec(12));  // a couple of RanSub epochs
+
+  // Conflicting writes from two different group members: a large
+  // numerical gap, as in the seed's service test.
+  ASSERT_TRUE(cluster.sync_agent(file, 0)->put("a", 1.0));
+  ASSERT_TRUE(cluster.sync_agent(file, 1)->put("b", 9.0));
+  cluster.run_for(sec(40));  // detect -> hint dips -> resolution round
+
+  EXPECT_TRUE(cluster.converged(file))
+      << "replica digests still differ after resolution";
+  for (std::uint32_t rank = 0; rank < 3; ++rank) {
+    EXPECT_GE(cluster.replica_at_rank(file, rank)->store().update_count(),
+              3u);
+  }
+}
+
+TEST(ShardedClusterTest, RouterSpreadsCoordinators) {
+  ShardedCluster cluster(small_cluster_config());
+  for (FileId f = 1; f <= 64; ++f) {
+    ASSERT_TRUE(cluster.router().write(f, "x", 0.5));
+  }
+  cluster.run_for(sec(1));
+
+  const RouterStats& stats = cluster.router().stats();
+  EXPECT_EQ(stats.writes, 64u);
+  EXPECT_EQ(stats.opens, 64u);
+  // The ring should never funnel 64 tenants through one coordinator.
+  EXPECT_GT(stats.coordinator_ops.size(), 3u);
+  for (const auto& [endpoint, ops] : stats.coordinator_ops) {
+    EXPECT_LT(ops, 64u / 2) << "endpoint " << endpoint
+                            << " coordinates too many tenants";
+  }
+}
+
+TEST(ShardedClusterTest, BatchingCoalescesSameTickFanout) {
+  ShardedCluster cluster(small_cluster_config());
+  cluster.place(1, 40);
+  // All coordinators push replicas at the same instant; co-located tenants
+  // share endpoint pairs, so the fan-out coalesces into fewer envelopes.
+  for (FileId f = 1; f <= 40; ++f) {
+    ASSERT_TRUE(cluster.router().write(f, "burst", 0.5));
+  }
+  cluster.run_for(sec(20));
+
+  ASSERT_NE(cluster.batching(), nullptr);
+  const net::BatchingStats& stats = cluster.batching()->stats();
+  EXPECT_GT(stats.logical_messages, 0u);
+  EXPECT_GT(stats.envelopes, 0u);
+  EXPECT_LT(stats.envelopes, stats.logical_messages);
+  EXPECT_GT(stats.batch_factor(), 1.0);
+  EXPECT_GE(stats.largest_batch, 2u);
+  // The wire only saw one envelope per flush (singletons ship raw but
+  // still count as envelopes in the stats).
+  EXPECT_EQ(cluster.wire_counters().total_messages(), stats.envelopes);
+}
+
+TEST(ShardedClusterTest, BatchingCanBeDisabled) {
+  ShardedClusterConfig cfg = small_cluster_config();
+  cfg.batching = false;
+  ShardedCluster cluster(cfg);
+  EXPECT_EQ(cluster.batching(), nullptr);
+  ASSERT_TRUE(cluster.router().write(3, "plain", 1.0));
+  cluster.run_for(sec(2));
+  EXPECT_TRUE(cluster.converged(3));
+}
+
+TEST(ShardedClusterTest, CloseFileTearsDownWholeGroup) {
+  ShardedCluster cluster(small_cluster_config());
+  const FileId file = 5;
+  cluster.ensure_open(file);
+  const std::vector<NodeId> group = cluster.group_of(file);
+  EXPECT_TRUE(cluster.router().close(file));
+  for (NodeId member : group) {
+    EXPECT_EQ(cluster.service(member).find(file), nullptr);
+  }
+  EXPECT_FALSE(cluster.is_placed(file));
+  EXPECT_FALSE(cluster.router().close(file));  // idempotent no-op
+  cluster.run_for(sec(5));                     // no dangling timers blow up
+}
+
+TEST(ShardedClusterTest, EndToEndPlacementWriteConverge) {
+  // The acceptance flow: place a tenant population, write through the
+  // router, run the sim, and require every group to converge.
+  ShardedCluster cluster(small_cluster_config(991));
+  cluster.place(1, 30);
+  for (FileId f = 1; f <= 30; ++f) {
+    ASSERT_TRUE(cluster.router().write(f, "payload-" + std::to_string(f),
+                                       0.25 * static_cast<double>(f % 4)));
+  }
+  cluster.run_for(sec(30));
+  for (FileId f = 1; f <= 30; ++f) {
+    EXPECT_TRUE(cluster.converged(f)) << "file " << f << " diverged";
+    for (std::uint32_t rank = 0; rank < 3; ++rank) {
+      EXPECT_GE(cluster.replica_at_rank(f, rank)->store().update_count(),
+                1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idea::shard
