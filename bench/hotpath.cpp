@@ -1,0 +1,436 @@
+/// \file hotpath.cpp
+/// \brief Hot-path throughput trajectory: simulator kernel, transport
+///        send->deliver, version-vector merges, and the sharded macro run.
+///
+/// Every future PR is measured against this bench: it emits
+/// BENCH_hotpath.json so the perf trajectory accumulates per PR (the CI
+/// Release job uploads the file as an artifact).  Four sections:
+///
+///   1. sim_events  — schedule/cancel/periodic churn through the Simulator.
+///   2. transport   — SimTransport message storm with realistic EVV payloads
+///                    (each hop re-sends, so the cost of forwarding a
+///                    payload across transport hops is on the clock).
+///   3. vv_merge    — VersionVector merge + compare walks.
+///   4. macro       — the PR 1 shard-scalability headline configuration
+///                    (32 endpoints / 2000 files, k=3), reporting logical
+///                    messages per wall-clock second plus the per-type
+///                    message counts and replica digest used by the
+///                    determinism regression test.
+///
+///   $ ./hotpath [--smoke] [--json BENCH_hotpath.json]
+///               [--endpoints 32] [--files 2000] [--sim-secs 10]
+///
+/// The kBaseline* constants are the numbers this bench printed at the
+/// pre-refactor seed (PR 1, string message types + std::any payloads +
+/// unpooled simulator) on the reference build machine; speedups in the
+/// JSON are relative to them.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/kvstore.hpp"
+#include "bench/common.hpp"
+#include "net/batching_transport.hpp"
+#include "net/sim_transport.hpp"
+#include "shard/sharded_cluster.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "vv/extended_vv.hpp"
+#include "vv/version_vector.hpp"
+
+namespace idea::bench {
+namespace {
+
+// Pre-refactor reference throughput: medians of 5 runs of this bench
+// built against the seed commit (string message types, std::any payloads,
+// unordered_set-cancellation simulator, std::map version vectors) on the
+// single-core CI reference machine, Release -O2, interleaved with the
+// post-refactor runs to cancel machine drift.  0 disables the speedup
+// report for a metric.
+constexpr double kBaselineSimEvents = 14.1e6;
+constexpr double kBaselineTransportMsgs = 0.88e6;
+constexpr double kBaselineBatchedTransportMsgs = 0.57e6;
+constexpr double kBaselineVvMerges = 3.32e6;
+constexpr double kBaselineMacroMsgsPerWallSec = 0.43e6;
+
+using WallClock = std::chrono::steady_clock;
+
+double secs_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// 1. Simulator kernel: schedule / cancel / periodic churn.
+// ---------------------------------------------------------------------------
+struct SimEventsResult {
+  std::uint64_t ops = 0;
+  double wall_s = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+SimEventsResult bench_sim_events(std::uint64_t n) {
+  sim::Simulator sim;
+  Rng rng(4242);
+  std::uint64_t fired = 0;
+
+  const auto start = WallClock::now();
+  std::uint64_t ops = 0;
+  // A few periodic chains tick throughout the run.
+  std::vector<sim::EventId> chains;
+  for (int i = 0; i < 8; ++i) {
+    chains.push_back(sim.schedule_periodic(msec(10 + i), [&] { ++fired; }));
+    ++ops;
+  }
+  // Batches of one-shot events at pseudo-random offsets; a quarter of each
+  // batch is cancelled before it can run.
+  const std::uint64_t batch = 1024;
+  std::vector<sim::EventId> cancellable;
+  cancellable.reserve(batch / 4);
+  for (std::uint64_t done = 0; done < n; done += batch) {
+    cancellable.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const SimDuration delay = static_cast<SimDuration>(
+          rng.uniform_int(0, static_cast<std::int64_t>(msec(50))));
+      const sim::EventId id = sim.schedule_after(delay, [&] { ++fired; });
+      ++ops;
+      if ((i & 3u) == 0) cancellable.push_back(id);
+    }
+    for (const sim::EventId id : cancellable) {
+      sim.cancel(id);
+      ++ops;
+    }
+    sim.run_for(msec(25));
+  }
+  for (const sim::EventId id : chains) sim.cancel(id);
+  sim.run_for(sec(1));
+
+  SimEventsResult r;
+  r.ops = ops + sim.events_processed();
+  r.wall_s = secs_since(start);
+  r.ops_per_sec = static_cast<double>(r.ops) / r.wall_s;
+  std::printf("sim_events: %" PRIu64 " ops (%" PRIu64
+              " fired) in %.3f s -> %.2fM ops/s\n",
+              r.ops, fired, r.wall_s, r.ops_per_sec / 1e6);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// 2. Transport storm: every delivery re-sends until its hop budget runs out,
+//    so one logical "flow" crosses the send->schedule->deliver path many
+//    times carrying a realistic detect-probe-sized EVV payload.
+// ---------------------------------------------------------------------------
+struct TransportResult {
+  std::uint64_t messages = 0;
+  double wall_s = 0.0;
+  double msgs_per_sec = 0.0;
+};
+
+struct HopPayload {
+  std::uint32_t hops_left = 0;
+  vv::ExtendedVersionVector evv;
+};
+
+class HopHandler final : public net::MessageHandler {
+ public:
+  HopHandler(net::Transport& t, std::uint32_t nodes)
+      : transport_(t), nodes_(nodes) {}
+
+  void on_message(const net::Message& msg) override {
+    ++received_;
+    const auto& p = msg.payload.as<HopPayload>();
+    if (p.hops_left == 0) return;
+    net::Message next;
+    next.from = msg.to;
+    next.to = (msg.to + 1) % nodes_;
+    next.file = msg.file;
+    next.type = msg.type;
+    next.wire_bytes = msg.wire_bytes;
+    next.payload = HopPayload{p.hops_left - 1, p.evv};
+    transport_.send(std::move(next));
+  }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  net::Transport& transport_;
+  std::uint32_t nodes_;
+  std::uint64_t received_ = 0;
+};
+
+const net::MsgType kProbeLike = net::MsgType::intern("bench.probe");
+
+vv::ExtendedVersionVector make_probe_evv(std::uint32_t writers,
+                                         std::uint32_t updates_each) {
+  vv::ExtendedVersionVector evv;
+  SimTime t = 0;
+  for (std::uint32_t w = 0; w < writers; ++w) {
+    for (std::uint32_t k = 0; k < updates_each; ++k) {
+      t += msec(3);
+      evv.record_update(w, t, static_cast<double>(w * k));
+    }
+  }
+  return evv;
+}
+
+TransportResult bench_transport(std::uint64_t flows, std::uint32_t hops,
+                                bool batching, std::uint32_t nodes,
+                                std::uint32_t files) {
+  sim::Simulator sim;
+  // Constant latency on purpose: a latency model that burns CPU on
+  // per-message jitter math (e.g. PlanetLab lognormal sampling) would
+  // swamp the send->schedule->deliver path this section isolates.  The
+  // node/file shape matches the macro deployment below.
+  sim::ConstantLatency latency(msec(2));
+  net::SimTransportOptions opts;
+  opts.node_count = nodes;
+  net::SimTransport wire(sim, latency, opts);
+  net::BatchingTransport batch(wire, net::BatchingOptions{});
+  net::Transport& edge =
+      batching ? static_cast<net::Transport&>(batch) : wire;
+
+  std::vector<std::unique_ptr<HopHandler>> handlers;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    handlers.push_back(std::make_unique<HopHandler>(edge, nodes));
+    edge.attach(n, handlers.back().get());
+  }
+
+  const vv::ExtendedVersionVector evv = make_probe_evv(8, 6);
+  const auto start = WallClock::now();
+  for (std::uint64_t f = 0; f < flows; ++f) {
+    net::Message m;
+    m.from = static_cast<NodeId>(f % nodes);
+    m.to = static_cast<NodeId>((f + 1) % nodes);
+    m.file = static_cast<FileId>(f % files + 1);
+    m.type = kProbeLike;
+    m.wire_bytes = evv.wire_bytes();
+    m.payload = HopPayload{hops, evv};
+    edge.send(std::move(m));
+  }
+  sim.run();
+
+  TransportResult r;
+  for (const auto& h : handlers) r.messages += h->received();
+  r.wall_s = secs_since(start);
+  r.msgs_per_sec = static_cast<double>(r.messages) / r.wall_s;
+  std::printf("transport%s: %" PRIu64 " msgs in %.3f s -> %.2fM msgs/s\n",
+              batching ? "+batching" : "", r.messages, r.wall_s,
+              r.msgs_per_sec / 1e6);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// 3. Version-vector merge/compare walks.
+// ---------------------------------------------------------------------------
+struct VvResult {
+  std::uint64_t ops = 0;
+  double wall_s = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+VvResult bench_vv(std::uint64_t iters) {
+  Rng rng(99);
+  const std::uint32_t writers = 24;
+  vv::VersionVector a, b;
+  for (std::uint32_t w = 0; w < writers; ++w) {
+    // Overlapping but distinct writer sets, like detect/resolve exchanges.
+    if (w % 3 != 0) a.set(w, rng.uniform_int(1, 50));
+    if (w % 3 != 1) b.set(w, rng.uniform_int(1, 50));
+  }
+  const auto start = WallClock::now();
+  std::uint64_t concurrent = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    vv::VersionVector c = a;
+    c.merge(b);
+    if (vv::VersionVector::compare(a, b) == vv::Order::kConcurrent) {
+      ++concurrent;
+    }
+    if (vv::VersionVector::compare(c, a) == vv::Order::kBefore) ++concurrent;
+  }
+  VvResult r;
+  r.ops = iters * 3;  // one merge + two compares per iteration
+  r.wall_s = secs_since(start);
+  r.ops_per_sec = static_cast<double>(r.ops) / r.wall_s;
+  std::printf("vv_merge: %" PRIu64 " ops in %.3f s -> %.2fM ops/s "
+              "(checksum %" PRIu64 ")\n",
+              r.ops, r.wall_s, r.ops_per_sec / 1e6, concurrent);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// 4. Macro: the PR 1 shard-scalability headline configuration.
+// ---------------------------------------------------------------------------
+struct MacroResult {
+  std::uint32_t endpoints = 0;
+  std::uint32_t files = 0;
+  double sim_secs = 0.0;
+  double wall_ms = 0.0;
+  std::uint64_t puts_applied = 0;
+  std::uint64_t logical_messages = 0;
+  std::uint64_t wire_messages = 0;
+  double msgs_per_wall_sec = 0.0;
+  double converged_pct = 0.0;
+  std::uint64_t digest_xor = 0;  ///< XOR of sampled coordinator digests.
+};
+
+MacroResult bench_macro(std::uint32_t endpoints, std::uint32_t files,
+                        SimDuration sim_duration, std::uint64_t seed) {
+  const auto start = WallClock::now();
+  shard::ShardedClusterConfig cfg;
+  cfg.endpoints = endpoints;
+  cfg.replication = 3;
+  cfg.batching = true;
+  cfg.seed = seed;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
+  cfg.idea.controller.mode = core::AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.85;
+  cfg.idea.detection_period = sec(2);
+  shard::ShardedCluster cluster(cfg);
+
+  cluster.place(1, files);
+  apps::KvStore kv(cluster,
+                   apps::KvStoreOptions{.buckets = files, .first_file = 1});
+  apps::KvWorkloadParams wl;
+  wl.clients = endpoints * 2;
+  wl.interval = msec(250);
+  wl.duration = sim_duration;
+  wl.keyspace = files * 4;
+  wl.zipf_s = 0.9;
+  apps::KvWorkload workload(kv, cluster.sim(), wl, seed ^ 0xBEEF);
+  workload.start();
+  cluster.run_for(sim_duration + sec(10));
+
+  MacroResult r;
+  r.endpoints = endpoints;
+  r.files = files;
+  r.sim_secs = to_sec(sim_duration);
+  r.puts_applied = kv.puts();
+  r.wire_messages = cluster.wire_counters().total_messages();
+  r.logical_messages = cluster.batching() != nullptr
+                           ? cluster.batching()->stats().logical_messages
+                           : r.wire_messages;
+  std::size_t sampled = 0, converged = 0;
+  for (FileId f = 1; f <= files; f += 7) {
+    ++sampled;
+    if (cluster.converged(f)) ++converged;
+    core::IdeaNode* coord = cluster.replica_at_rank(f, 0);
+    if (coord != nullptr) r.digest_xor ^= coord->store().content_digest();
+  }
+  r.converged_pct =
+      100.0 * static_cast<double>(converged) / static_cast<double>(sampled);
+  r.wall_ms = 1000.0 * secs_since(start);
+  r.msgs_per_wall_sec =
+      static_cast<double>(r.logical_messages) / (r.wall_ms / 1000.0);
+  std::printf("macro: %u endpoints / %u files, %" PRIu64 " logical msgs "
+              "(%" PRIu64 " wire) in %.0f ms wall -> %.2fM msgs/wall-s, "
+              "%.1f%% converged, digest %016" PRIx64 "\n",
+              r.endpoints, r.files, r.logical_messages, r.wire_messages,
+              r.wall_ms, r.msgs_per_wall_sec / 1e6, r.converged_pct,
+              r.digest_xor);
+  return r;
+}
+
+double speedup_vs(double now, double baseline) {
+  return baseline > 0.0 ? now / baseline : 0.0;
+}
+
+void write_json(const std::string& path, bool smoke,
+                const SimEventsResult& se, const TransportResult& tr,
+                const TransportResult& trb, const VvResult& vvr,
+                const MacroResult& mc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"hotpath\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"metrics\": {\n");
+  std::fprintf(f, "    \"sim_events_per_sec\": %.0f,\n", se.ops_per_sec);
+  std::fprintf(f, "    \"transport_msgs_per_sec\": %.0f,\n", tr.msgs_per_sec);
+  std::fprintf(f, "    \"batched_transport_msgs_per_sec\": %.0f,\n",
+               trb.msgs_per_sec);
+  std::fprintf(f, "    \"vv_merge_ops_per_sec\": %.0f,\n", vvr.ops_per_sec);
+  std::fprintf(f, "    \"macro\": {\n");
+  std::fprintf(f, "      \"endpoints\": %u,\n", mc.endpoints);
+  std::fprintf(f, "      \"files\": %u,\n", mc.files);
+  std::fprintf(f, "      \"sim_secs\": %.1f,\n", mc.sim_secs);
+  std::fprintf(f, "      \"wall_ms\": %.1f,\n", mc.wall_ms);
+  std::fprintf(f, "      \"puts_applied\": %" PRIu64 ",\n", mc.puts_applied);
+  std::fprintf(f, "      \"logical_messages\": %" PRIu64 ",\n",
+               mc.logical_messages);
+  std::fprintf(f, "      \"wire_messages\": %" PRIu64 ",\n",
+               mc.wire_messages);
+  std::fprintf(f, "      \"msgs_per_wall_sec\": %.0f,\n",
+               mc.msgs_per_wall_sec);
+  std::fprintf(f, "      \"converged_pct\": %.1f,\n", mc.converged_pct);
+  std::fprintf(f, "      \"content_digest_xor\": \"%016" PRIx64 "\"\n",
+               mc.digest_xor);
+  std::fprintf(f, "    }\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"baseline_pre_refactor\": {\n");
+  std::fprintf(f, "    \"sim_events_per_sec\": %.0f,\n", kBaselineSimEvents);
+  std::fprintf(f, "    \"transport_msgs_per_sec\": %.0f,\n",
+               kBaselineTransportMsgs);
+  std::fprintf(f, "    \"batched_transport_msgs_per_sec\": %.0f,\n",
+               kBaselineBatchedTransportMsgs);
+  std::fprintf(f, "    \"vv_merge_ops_per_sec\": %.0f,\n", kBaselineVvMerges);
+  std::fprintf(f, "    \"macro_msgs_per_wall_sec\": %.0f\n",
+               kBaselineMacroMsgsPerWallSec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup\": {\n");
+  std::fprintf(f, "    \"sim_events\": %.2f,\n",
+               speedup_vs(se.ops_per_sec, kBaselineSimEvents));
+  std::fprintf(f, "    \"transport\": %.2f,\n",
+               speedup_vs(tr.msgs_per_sec, kBaselineTransportMsgs));
+  std::fprintf(f, "    \"batched_transport\": %.2f,\n",
+               speedup_vs(trb.msgs_per_sec, kBaselineBatchedTransportMsgs));
+  std::fprintf(f, "    \"vv_merge\": %.2f,\n",
+               speedup_vs(vvr.ops_per_sec, kBaselineVvMerges));
+  std::fprintf(f, "    \"macro\": %.2f\n",
+               speedup_vs(mc.msgs_per_wall_sec, kBaselineMacroMsgsPerWallSec));
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace idea::bench
+
+int main(int argc, char** argv) {
+  using namespace idea;
+  using namespace idea::bench;
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+
+  print_header("Hot path: kernel, transport, version vectors, macro run");
+
+  const std::uint64_t n_events = smoke ? 200'000 : 2'000'000;
+  const std::uint64_t n_flows = smoke ? 2'000 : 20'000;
+  const std::uint32_t hops = 32;
+  const std::uint64_t n_vv = smoke ? 200'000 : 2'000'000;
+  const auto endpoints =
+      static_cast<std::uint32_t>(flags.get_int("endpoints", 32));
+  const auto files = static_cast<std::uint32_t>(flags.get_int("files", 2000));
+  const SimDuration sim_secs =
+      sec_f(flags.get_double("sim-secs", smoke ? 3.0 : 10.0));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2007));
+
+  const SimEventsResult se = bench_sim_events(n_events);
+  const TransportResult tr =
+      bench_transport(n_flows, hops, false, endpoints, files);
+  const TransportResult trb =
+      bench_transport(n_flows, hops, true, endpoints, files);
+  const VvResult vvr = bench_vv(n_vv);
+  const MacroResult mc = bench_macro(endpoints, files, sim_secs, seed);
+
+  write_json(flags.get_string("json", "BENCH_hotpath.json"), smoke, se, tr,
+             trb, vvr, mc);
+  return 0;
+}

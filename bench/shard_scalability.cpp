@@ -12,6 +12,11 @@
 ///   $ ./shard_scalability [--files 2000] [--endpoints 32] [--sim-secs 20]
 ///                         [--clients-per-endpoint 2] [--seed 2007]
 ///                         [--skip-sweep] [--no-compare]
+///                         [--skip-window-sweep] [--window-csv out.csv]
+///
+/// The final section sweeps BatchingOptions::window (0, 1, 5, 20, 100 ms)
+/// at quarter scale and reports the latency-vs-batch-size tradeoff: batch
+/// factor and mean per-message queueing delay per window.
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +40,7 @@ struct RunResult {
   std::uint64_t wire_messages = 0;
   std::uint64_t logical_messages = 0;
   double batch_factor = 1.0;
+  double avg_queue_wait_ms = 0.0;  ///< Mean batching delay per message.
   std::size_t converged = 0;
   std::size_t sampled = 0;
 };
@@ -45,6 +51,9 @@ struct RunConfig {
   std::uint32_t clients_per_endpoint = 2;
   SimDuration sim_duration = sec(20);
   bool batching = true;
+  /// BatchingOptions::window — how long a destination queue may wait for
+  /// more traffic.  0 coalesces only same-tick sends.
+  SimDuration batch_window = 0;
   std::uint64_t seed = 2007;
 };
 
@@ -55,6 +64,7 @@ RunResult run_once(const RunConfig& rc) {
   cfg.endpoints = rc.endpoints;
   cfg.replication = 3;
   cfg.batching = rc.batching;
+  cfg.batch.window = rc.batch_window;
   cfg.seed = rc.seed;
   cfg.sync_sizes();
   cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
@@ -91,6 +101,8 @@ RunResult run_once(const RunConfig& rc) {
   if (cluster.batching() != nullptr) {
     r.logical_messages = cluster.batching()->stats().logical_messages;
     r.batch_factor = cluster.batching()->stats().batch_factor();
+    r.avg_queue_wait_ms =
+        cluster.batching()->stats().avg_queue_wait_usec() / 1000.0;
   } else {
     r.logical_messages = r.wire_messages;
   }
@@ -166,6 +178,44 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s", table.render().c_str());
+
+  // Batching window sweep (ROADMAP follow-up): a nonzero window holds
+  // destination queues open so later sends can pile in — bigger batches
+  // and fewer wire envelopes, paid for with per-message queueing delay.
+  // Reported per window: batch factor, mean added delay, wire messages,
+  // and the workload-level effects (applied puts, convergence).
+  if (!flags.get_bool("skip-window-sweep", false)) {
+    print_header("Batching window sweep: latency vs batch size");
+    TextTable wtable({"window ms", "batchx", "avg wait ms", "wire msgs",
+                      "puts/sim-s", "converged %", "wall ms"});
+    const SimDuration windows[] = {0, msec(1), msec(5), msec(20), msec(100)};
+    for (const SimDuration w : windows) {
+      RunConfig rc = top;
+      // Sweep at the quarter-scale deployment so the five runs stay cheap.
+      rc.endpoints = std::max(2u, top.endpoints / 4);
+      rc.files = std::max(16u, top.files / 4);
+      rc.batch_window = w;
+      const RunResult r = run_once(rc);
+      wtable.add_row({
+          TextTable::num(to_sec(w) * 1000.0, 1),
+          TextTable::num(r.batch_factor, 2),
+          TextTable::num(r.avg_queue_wait_ms, 2),
+          TextTable::integer(static_cast<long long>(r.wire_messages)),
+          TextTable::num(r.throughput, 1),
+          TextTable::num(100.0 * static_cast<double>(r.converged) /
+                             static_cast<double>(r.sampled),
+                         1),
+          TextTable::num(r.wall_ms, 0),
+      });
+    }
+    std::printf("%s", wtable.render().c_str());
+    std::printf("window tradeoff: batching delay is bounded by the window; "
+                "pick the largest window whose added delay the workload "
+                "tolerates.\n");
+    if (flags.has("window-csv")) {
+      wtable.write_csv(flags.get_string("window-csv", "window_sweep.csv"));
+    }
+  }
   std::printf("headline: %u endpoints hosting %u replicated files, "
               "%.0f applied puts/sim-s, simulated in %.1f s wall\n",
               headline.endpoints, headline.files, headline.throughput,

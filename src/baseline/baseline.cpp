@@ -39,6 +39,22 @@ struct StrongCommitted {
 
 }  // namespace
 
+const net::MsgType OptimisticNode::kRequestType =
+    net::MsgType::intern("optimistic.request");
+const net::MsgType OptimisticNode::kPushType =
+    net::MsgType::intern("optimistic.push");
+const net::MsgType OptimisticNode::kPullType =
+    net::MsgType::intern("optimistic.pull");
+const net::MsgType StrongNode::kSubmitType =
+    net::MsgType::intern("strong.submit");
+const net::MsgType StrongNode::kReplicateType =
+    net::MsgType::intern("strong.replicate");
+const net::MsgType StrongNode::kReplicaAckType =
+    net::MsgType::intern("strong.replica_ack");
+const net::MsgType StrongNode::kCommittedType =
+    net::MsgType::intern("strong.committed");
+const net::MsgType TactNode::kPushType = net::MsgType::intern("tact.push");
+
 // ---------------------------------------------------------------------------
 // OptimisticNode
 // ---------------------------------------------------------------------------
@@ -87,7 +103,7 @@ void OptimisticNode::anti_entropy_round() {
 void OptimisticNode::on_message(const net::Message& msg) {
   if (msg.type == kRequestType) {
     const auto& peer_counts =
-        std::any_cast<const vv::VersionVector&>(msg.payload);
+        msg.payload.as<vv::VersionVector>();
     UpdateBatch reply;
     reply.sender_counts = store_.evv().counts();
     reply.updates = store_.updates_ahead_of(peer_counts);
@@ -100,7 +116,7 @@ void OptimisticNode::on_message(const net::Message& msg) {
     m.payload = std::move(reply);
     transport_.send(std::move(m));
   } else if (msg.type == kPushType) {
-    const auto& batch = std::any_cast<const UpdateBatch&>(msg.payload);
+    const auto& batch = msg.payload.as<UpdateBatch>();
     for (const auto& u : batch.updates) {
       if (!store_.has(u.key)) store_.apply_remote(u);
     }
@@ -119,7 +135,7 @@ void OptimisticNode::on_message(const net::Message& msg) {
       transport_.send(std::move(m));
     }
   } else if (msg.type == kPullType) {
-    const auto& batch = std::any_cast<const UpdateBatch&>(msg.payload);
+    const auto& batch = msg.payload.as<UpdateBatch>();
     for (const auto& u : batch.updates) {
       if (!store_.has(u.key)) store_.apply_remote(u);
     }
@@ -196,11 +212,11 @@ void StrongNode::primary_apply_and_replicate(NodeId origin,
 
 void StrongNode::on_message(const net::Message& msg) {
   if (msg.type == kSubmitType) {
-    const auto& s = std::any_cast<const StrongSubmit&>(msg.payload);
+    const auto& s = msg.payload.as<StrongSubmit>();
     primary_apply_and_replicate(msg.from, s.client_tag, s.content,
                                 s.meta_delta);
   } else if (msg.type == kReplicateType) {
-    const auto& r = std::any_cast<const StrongReplicate&>(msg.payload);
+    const auto& r = msg.payload.as<StrongReplicate>();
     if (!store_.has(r.update.key)) store_.apply_remote(r.update);
     net::Message ack;
     ack.from = self_;
@@ -211,7 +227,7 @@ void StrongNode::on_message(const net::Message& msg) {
     ack.payload = StrongReplicaAck{r.commit_id};
     transport_.send(std::move(ack));
   } else if (msg.type == kReplicaAckType) {
-    const auto& a = std::any_cast<const StrongReplicaAck&>(msg.payload);
+    const auto& a = msg.payload.as<StrongReplicaAck>();
     auto it = pending_.find(a.commit_id);
     if (it == pending_.end()) return;
     if (--it->second.acks_needed > 0) return;
@@ -234,7 +250,7 @@ void StrongNode::on_message(const net::Message& msg) {
       transport_.send(std::move(m));
     }
   } else if (msg.type == kCommittedType) {
-    const auto& c = std::any_cast<const StrongCommitted&>(msg.payload);
+    const auto& c = msg.payload.as<StrongCommitted>();
     auto it = local_waiting_.find(c.client_tag);
     if (it != local_waiting_.end()) {
       it->second();
@@ -315,7 +331,7 @@ void TactNode::push_to(NodeId peer) {
 
 void TactNode::on_message(const net::Message& msg) {
   if (msg.type != kPushType) return;
-  const auto& batch = std::any_cast<const UpdateBatch&>(msg.payload);
+  const auto& batch = msg.payload.as<UpdateBatch>();
   for (const auto& u : batch.updates) {
     if (!store_.has(u.key)) store_.apply_remote(u);
   }

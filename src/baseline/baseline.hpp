@@ -74,9 +74,9 @@ class OptimisticNode final : public BaselineNode {
   void start() override;
   void on_message(const net::Message& msg) override;
 
-  static constexpr const char* kRequestType = "optimistic.request";
-  static constexpr const char* kPushType = "optimistic.push";
-  static constexpr const char* kPullType = "optimistic.pull";
+  static const net::MsgType kRequestType;  ///< "optimistic.request"
+  static const net::MsgType kPushType;     ///< "optimistic.push"
+  static const net::MsgType kPullType;     ///< "optimistic.pull"
 
  private:
   void anti_entropy_round();
@@ -106,10 +106,10 @@ class StrongNode final : public BaselineNode {
              std::function<void()> done) override;
   void on_message(const net::Message& msg) override;
 
-  static constexpr const char* kSubmitType = "strong.submit";
-  static constexpr const char* kReplicateType = "strong.replicate";
-  static constexpr const char* kReplicaAckType = "strong.replica_ack";
-  static constexpr const char* kCommittedType = "strong.committed";
+  static const net::MsgType kSubmitType;      ///< "strong.submit"
+  static const net::MsgType kReplicateType;   ///< "strong.replicate"
+  static const net::MsgType kReplicaAckType;  ///< "strong.replica_ack"
+  static const net::MsgType kCommittedType;   ///< "strong.committed"
 
  private:
   struct PendingCommit {
@@ -155,7 +155,7 @@ class TactNode final : public BaselineNode {
   void start() override;
   void on_message(const net::Message& msg) override;
 
-  static constexpr const char* kPushType = "tact.push";
+  static const net::MsgType kPushType;  ///< "tact.push"
 
  private:
   void check_bounds();

@@ -48,6 +48,19 @@ std::uint32_t updates_wire_bytes(const std::vector<replica::Update>& v) {
 
 }  // namespace
 
+const net::MsgType ResolutionManager::kAttnType =
+    net::MsgType::intern("resolve.attn");
+const net::MsgType ResolutionManager::kAttnAckType =
+    net::MsgType::intern("resolve.attn_ack");
+const net::MsgType ResolutionManager::kCollectType =
+    net::MsgType::intern("resolve.collect");
+const net::MsgType ResolutionManager::kCollectReplyType =
+    net::MsgType::intern("resolve.collect_reply");
+const net::MsgType ResolutionManager::kCommitType =
+    net::MsgType::intern("resolve.commit");
+const net::MsgType ResolutionManager::kDoneType =
+    net::MsgType::intern("resolve.done");
+
 ResolutionManager::ResolutionManager(
     NodeId self, FileId file, net::Transport& transport,
     replica::ReplicaStore& store,
@@ -142,7 +155,7 @@ void ResolutionManager::send_attn() {
 }
 
 void ResolutionManager::handle_attn(const net::Message& msg) {
-  const auto& p = std::any_cast<const AttnPayload&>(msg.payload);
+  const auto& p = msg.payload.as<AttnPayload>();
   // Positive iff we are not ourselves initiating and not mid-participation.
   const bool ok = state_ == State::kIdle && participating_round_ == 0;
   // An initiator waiting in backoff cancels in favour of the peer (§4.5.2:
@@ -168,7 +181,7 @@ void ResolutionManager::handle_attn(const net::Message& msg) {
 }
 
 void ResolutionManager::handle_attn_ack(const net::Message& msg) {
-  const auto& p = std::any_cast<const AttnAckPayload&>(msg.payload);
+  const auto& p = msg.payload.as<AttnAckPayload>();
   if (state_ != State::kAttnWait || p.round_id != round_id_) return;
   if (!p.ok) ack_failed_ = true;
   if (acks_pending_ > 0) --acks_pending_;
@@ -265,7 +278,7 @@ void ResolutionManager::visit_next_member() {
 }
 
 void ResolutionManager::handle_collect(const net::Message& msg) {
-  const auto p = std::any_cast<const CollectPayload&>(msg.payload);
+  const auto& p = msg.payload.as<CollectPayload>();
   const NodeId initiator = msg.from;
   participating_round_ = p.round_id;
   if (participant_timer_ != 0) transport_.cancel_call(participant_timer_);
@@ -294,7 +307,7 @@ void ResolutionManager::handle_collect(const net::Message& msg) {
 }
 
 void ResolutionManager::handle_collect_reply(const net::Message& msg) {
-  const auto& p = std::any_cast<const CollectReplyPayload&>(msg.payload);
+  const auto& p = msg.payload.as<CollectReplyPayload>();
   if (state_ != State::kCollect || p.round_id != round_id_) return;
 
   // Merge the member's updates into our store so the initiator ends up
@@ -411,7 +424,7 @@ void ResolutionManager::commit_round() {
 }
 
 void ResolutionManager::handle_commit(const net::Message& msg) {
-  const auto& p = std::any_cast<const CommitPayload&>(msg.payload);
+  const auto& p = msg.payload.as<CommitPayload>();
   apply_commit_locally(p.updates, p.invalidate);
   if (participating_round_ == p.round_id) {
     participating_round_ = 0;
@@ -431,7 +444,7 @@ void ResolutionManager::handle_commit(const net::Message& msg) {
 }
 
 void ResolutionManager::handle_done(const net::Message& msg) {
-  const auto& p = std::any_cast<const DonePayload&>(msg.payload);
+  const auto& p = msg.payload.as<DonePayload>();
   if (state_ != State::kCommitWait || p.round_id != round_id_) return;
   if (done_pending_ > 0) --done_pending_;
   if (done_pending_ == 0) {

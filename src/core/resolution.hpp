@@ -109,12 +109,12 @@ class ResolutionManager final : public net::MessageHandler {
   [[nodiscard]] std::uint64_t rounds_initiated() const { return initiated_; }
   [[nodiscard]] std::uint64_t rounds_succeeded() const { return succeeded_; }
 
-  static constexpr const char* kAttnType = "resolve.attn";
-  static constexpr const char* kAttnAckType = "resolve.attn_ack";
-  static constexpr const char* kCollectType = "resolve.collect";
-  static constexpr const char* kCollectReplyType = "resolve.collect_reply";
-  static constexpr const char* kCommitType = "resolve.commit";
-  static constexpr const char* kDoneType = "resolve.done";
+  static const net::MsgType kAttnType;          ///< "resolve.attn"
+  static const net::MsgType kAttnAckType;       ///< "resolve.attn_ack"
+  static const net::MsgType kCollectType;       ///< "resolve.collect"
+  static const net::MsgType kCollectReplyType;  ///< "resolve.collect_reply"
+  static const net::MsgType kCommitType;        ///< "resolve.commit"
+  static const net::MsgType kDoneType;          ///< "resolve.done"
 
  private:
   enum class State { kIdle, kAttnWait, kBackoff, kCollect, kCommitWait };

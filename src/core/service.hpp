@@ -13,8 +13,8 @@
 /// claims the node's transport endpoint once, and routes incoming messages
 /// to the right file's protocol stack by the message's file id.
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "core/idea_node.hpp"
 
@@ -70,6 +70,7 @@ class IdeaService final : public net::MessageHandler {
       entry.sink = inbound != nullptr ? inbound : &node->dispatcher();
       entry.node = std::move(node);
       it = files_.emplace(file, std::move(entry)).first;
+      index_sink(file, it->second.sink);
     }
     return *it->second.node;
   }
@@ -77,7 +78,12 @@ class IdeaService final : public net::MessageHandler {
   /// Leave a shared file, tearing down its protocol stack.  Closing a file
   /// that was never opened (or already closed) is a harmless no-op; the
   /// return value says whether a stack was actually torn down.
-  bool close(FileId file) { return files_.erase(file) > 0; }
+  bool close(FileId file) {
+    // Clear in place only: growing the dense array to null out an id that
+    // was never opened would let a stray close(huge_id) inflate memory.
+    if (file < sinks_.size()) sinks_[file] = nullptr;
+    return files_.erase(file) > 0;
+  }
 
   [[nodiscard]] IdeaNode* find(FileId file) {
     auto it = files_.find(file);
@@ -90,7 +96,16 @@ class IdeaService final : public net::MessageHandler {
   /// Route by the message's file id; messages for files this node has not
   /// joined are dropped (it is a bottom-layer bystander for them at most,
   /// and gossip dedup tolerates the loss).
+  ///
+  /// This runs once per delivered message on an endpoint hosting hundreds
+  /// of files, so small file ids resolve through a dense sink array (one
+  /// indexed load); only large/sparse ids fall back to the hash map.
   void on_message(const net::Message& msg) override {
+    if (msg.file < sinks_.size()) {
+      net::MessageHandler* sink = sinks_[msg.file];
+      if (sink != nullptr) sink->on_message(msg);
+      return;
+    }
     auto it = files_.find(msg.file);
     if (it != files_.end()) it->second.sink->on_message(msg);
   }
@@ -101,10 +116,22 @@ class IdeaService final : public net::MessageHandler {
     net::MessageHandler* sink = nullptr;  ///< Borrowed inbound handler.
   };
 
+  /// Largest file id mirrored into the dense sink array (8 bytes/slot).
+  static constexpr FileId kDenseFileLimit = 1u << 20;
+
+  void index_sink(FileId file, net::MessageHandler* sink) {
+    if (file >= kDenseFileLimit) return;
+    if (file >= sinks_.size()) sinks_.resize(file + 1, nullptr);
+    sinks_[file] = sink;
+  }
+
   NodeId self_;
   net::Transport& transport_;
   std::uint64_t seed_;
-  std::map<FileId, Entry> files_;
+  // Hash-indexed ownership: nothing iterates this map, so ordering is
+  // irrelevant to determinism.
+  std::unordered_map<FileId, Entry> files_;
+  std::vector<net::MessageHandler*> sinks_;  ///< Dense file -> sink route.
 };
 
 }  // namespace idea::core

@@ -2,40 +2,64 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 namespace idea::detect {
 
 namespace {
 
+// Probe/reply/report/scan bodies carry the sender's EVV as a shared
+// snapshot (ReplicaStore::evv_snapshot), so sending k probes or answering
+// a probe storm between two local mutations refcounts one allocation.
 struct ProbePayload {
   std::uint64_t round_id;
-  vv::ExtendedVersionVector evv;
+  std::shared_ptr<const vv::ExtendedVersionVector> evv;
 };
 
 struct ReplyPayload {
   std::uint64_t round_id;
-  vv::ExtendedVersionVector evv;
+  std::shared_ptr<const vv::ExtendedVersionVector> evv;
 };
 
 struct ReportPayload {
-  vv::ExtendedVersionVector evv;
+  std::shared_ptr<const vv::ExtendedVersionVector> evv;
 };
 
 struct ScanPayload {
-  vv::ExtendedVersionVector evv;
+  std::shared_ptr<const vv::ExtendedVersionVector> evv;
 };
 
 }  // namespace
 
+const net::MsgType InconsistencyDetector::kProbeType =
+    net::MsgType::intern("detect.probe");
+const net::MsgType InconsistencyDetector::kReplyType =
+    net::MsgType::intern("detect.reply");
+const net::MsgType InconsistencyDetector::kReportType =
+    net::MsgType::intern("detect.report");
+const net::MsgType InconsistencyDetector::kScanInnerType =
+    net::MsgType::intern("detect.scan");
+
 NodeId choose_reference(
     const std::vector<std::pair<NodeId, vv::ExtendedVersionVector>>&
         gathered) {
+  std::vector<vv::VersionVector> counts;
+  counts.reserve(gathered.size());
+  for (const auto& [node, evv] : gathered) counts.push_back(evv.counts());
+  return choose_reference_by_counts(gathered, counts);
+}
+
+NodeId choose_reference_by_counts(
+    const std::vector<std::pair<NodeId, vv::ExtendedVersionVector>>& gathered,
+    const std::vector<vv::VersionVector>& counts) {
   NodeId best = kNoNode;
-  for (const auto& [node, evv] : gathered) {
+  for (std::size_t i = 0; i < gathered.size(); ++i) {
+    const NodeId node = gathered[i].first;
     bool dominated = false;
-    for (const auto& [other_node, other_evv] : gathered) {
+    for (std::size_t j = 0; j < gathered.size(); ++j) {
+      const NodeId other_node = gathered[j].first;
       if (other_node == node) continue;
-      const vv::Order o = vv::ExtendedVersionVector::compare(evv, other_evv);
+      const vv::Order o = vv::VersionVector::compare(counts[i], counts[j]);
       if (o == vv::Order::kBefore) {
         dominated = true;
         break;
@@ -88,14 +112,18 @@ void InconsistencyDetector::detect(DetectCallback cb) {
     return;
   }
 
+  // One shared probe body for the whole top layer; each send refcounts it
+  // instead of re-copying the EVV per peer.
+  const net::Payload probe = ProbePayload{round_id, store_.evv_snapshot()};
+  const std::uint32_t probe_bytes = store_.evv().wire_bytes();
   for (NodeId peer : peers) {
     net::Message m;
     m.from = self_;
     m.to = peer;
     m.file = file_;
     m.type = kProbeType;
-    m.payload = ProbePayload{round_id, store_.evv()};
-    m.wire_bytes = store_.evv().wire_bytes();
+    m.payload = probe;
+    m.wire_bytes = probe_bytes;
     transport_.send(std::move(m));
   }
   round.timeout_handle = transport_.call_after(
@@ -119,13 +147,20 @@ void InconsistencyDetector::finish_round(std::uint64_t round_id) {
   result.peers_replied = round.gathered.size() - 1;
   result.gathered = std::move(round.gathered);
 
+  // Extract each gathered EVV's counts once; every pairwise comparison in
+  // this round works on the flat vectors.
+  std::vector<vv::VersionVector> counts;
+  counts.reserve(result.gathered.size());
+  for (const auto& [node, evv] : result.gathered) {
+    counts.push_back(evv.counts());
+  }
+
   // "fail" iff any pair of gathered EVVs differ (paper: two replicas are
   // inconsistent if their version vectors are different).
   for (std::size_t i = 0; !result.conflict && i < result.gathered.size();
        ++i) {
     for (std::size_t j = i + 1; j < result.gathered.size(); ++j) {
-      if (vv::ExtendedVersionVector::compare(result.gathered[i].second,
-                                             result.gathered[j].second) !=
+      if (vv::VersionVector::compare(counts[i], counts[j]) !=
           vv::Order::kEqual) {
         result.conflict = true;
         break;
@@ -133,7 +168,7 @@ void InconsistencyDetector::finish_round(std::uint64_t round_id) {
     }
   }
 
-  result.reference = choose_reference(result.gathered);
+  result.reference = choose_reference_by_counts(result.gathered, counts);
   for (const auto& [node, evv] : result.gathered) {
     if (node == result.reference) {
       result.reference_evv = evv;
@@ -156,33 +191,33 @@ void InconsistencyDetector::on_message(const net::Message& msg) {
 }
 
 void InconsistencyDetector::handle_probe(const net::Message& msg) {
-  const auto& p = std::any_cast<const ProbePayload&>(msg.payload);
+  const auto& p = msg.payload.as<ProbePayload>();
   net::Message reply;
   reply.from = self_;
   reply.to = msg.from;
   reply.file = file_;
   reply.type = kReplyType;
-  reply.payload = ReplyPayload{p.round_id, store_.evv()};
+  reply.payload = ReplyPayload{p.round_id, store_.evv_snapshot()};
   reply.wire_bytes = store_.evv().wire_bytes();
   transport_.send(std::move(reply));
 }
 
 void InconsistencyDetector::handle_reply(const net::Message& msg) {
-  const auto& p = std::any_cast<const ReplyPayload&>(msg.payload);
+  const auto& p = msg.payload.as<ReplyPayload>();
   auto it = pending_.find(p.round_id);
   if (it == pending_.end()) return;  // late reply after timeout
-  it->second.gathered.emplace_back(msg.from, p.evv);
+  it->second.gathered.emplace_back(msg.from, *p.evv);
   if (it->second.gathered.size() >= it->second.expected + 1) {
     finish_round(p.round_id);
   }
 }
 
 void InconsistencyDetector::handle_report(const net::Message& msg) {
-  const auto& p = std::any_cast<const ReportPayload&>(msg.payload);
+  const auto& p = msg.payload.as<ReportPayload>();
   if (on_report_) {
     ScanReport report;
     report.reporter = msg.from;
-    report.reporter_evv = p.evv;
+    report.reporter_evv = *p.evv;
     report.received_at = transport_.now();
     on_report_(report);
   }
@@ -203,25 +238,25 @@ void InconsistencyDetector::stop_background_scan() {
 
 void InconsistencyDetector::run_scan() {
   ++scans_;
-  gossip_.broadcast(file_, kScanInnerType, ScanPayload{store_.evv()},
+  gossip_.broadcast(file_, kScanInnerType, ScanPayload{store_.evv_snapshot()},
                     store_.evv().wire_bytes());
 }
 
 void InconsistencyDetector::on_gossip(const overlay::GossipEnvelope& env) {
   if (env.inner_type != kScanInnerType) return;
   if (env.origin == self_) return;
-  const auto& p = std::any_cast<const ScanPayload&>(env.inner);
+  const auto& p = env.inner.as<ScanPayload>();
   // If our history conflicts with (or is ahead of) the origin's, the origin
   // may be unaware of inconsistency — report back directly.
   const vv::Order o =
-      vv::ExtendedVersionVector::compare(store_.evv(), p.evv);
+      vv::ExtendedVersionVector::compare(store_.evv(), *p.evv);
   if (o == vv::Order::kConcurrent || o == vv::Order::kAfter) {
     net::Message m;
     m.from = self_;
     m.to = env.origin;
     m.file = file_;
     m.type = kReportType;
-    m.payload = ReportPayload{store_.evv()};
+    m.payload = ReportPayload{store_.evv_snapshot()};
     m.wire_bytes = store_.evv().wire_bytes();
     transport_.send(std::move(m));
   }

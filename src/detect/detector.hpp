@@ -61,6 +61,14 @@ struct DetectorParams {
 NodeId choose_reference(
     const std::vector<std::pair<NodeId, vv::ExtendedVersionVector>>& gathered);
 
+/// Same rule over pre-extracted count vectors (`counts[i]` belongs to
+/// `gathered[i]`).  Detection rounds compare every pair, so extracting each
+/// EVV's counts once instead of per comparison keeps rounds O(k^2) compares
+/// without O(k^2) vector rebuilds.
+NodeId choose_reference_by_counts(
+    const std::vector<std::pair<NodeId, vv::ExtendedVersionVector>>& gathered,
+    const std::vector<vv::VersionVector>& counts);
+
 class InconsistencyDetector final : public net::MessageHandler {
  public:
   using DetectCallback = std::function<void(const DetectionResult&)>;
@@ -95,10 +103,10 @@ class InconsistencyDetector final : public net::MessageHandler {
   /// Handle a gossip envelope routed to this detector by the gossip agent.
   void on_gossip(const overlay::GossipEnvelope& env);
 
-  static constexpr const char* kProbeType = "detect.probe";
-  static constexpr const char* kReplyType = "detect.reply";
-  static constexpr const char* kReportType = "detect.report";
-  static constexpr const char* kScanInnerType = "detect.scan";
+  static const net::MsgType kProbeType;      ///< "detect.probe"
+  static const net::MsgType kReplyType;      ///< "detect.reply"
+  static const net::MsgType kReportType;     ///< "detect.report"
+  static const net::MsgType kScanInnerType;  ///< "detect.scan"
 
   [[nodiscard]] std::uint64_t rounds_started() const { return next_round_; }
   [[nodiscard]] std::uint64_t scans_started() const { return scans_; }

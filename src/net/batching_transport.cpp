@@ -5,6 +5,8 @@
 
 namespace idea::net {
 
+const MsgType BatchingTransport::kBatchType = MsgType::intern("net.batch");
+
 BatchingTransport::BatchingTransport(Transport& inner, BatchingOptions options)
     : inner_(inner), options_(options) {}
 
@@ -16,19 +18,19 @@ BatchingTransport::~BatchingTransport() {
   for (auto& [key, queue] : queues_) {
     if (queue.flush_scheduled) inner_.cancel_call(queue.flush_handle);
   }
-  for (const auto& [node, handler] : handlers_) {
-    (void)handler;
-    inner_.detach(node);
+  for (NodeId node = 0; node < handlers_.size(); ++node) {
+    if (handlers_[node] != nullptr) inner_.detach(node);
   }
 }
 
 void BatchingTransport::attach(NodeId node, MessageHandler* handler) {
+  if (node >= handlers_.size()) handlers_.resize(node + 1, nullptr);
   handlers_[node] = handler;
   inner_.attach(node, this);
 }
 
 void BatchingTransport::detach(NodeId node) {
-  handlers_.erase(node);
+  if (node < handlers_.size()) handlers_[node] = nullptr;
   inner_.detach(node);
   // Queued traffic towards a detached endpoint drops, matching the inner
   // transport's in-flight semantics.  Queues *from* it flush normally.
@@ -83,6 +85,9 @@ void BatchingTransport::flush(PairKey key) {
   std::vector<Message> batch;
   batch.swap(queue.pending);
 
+  const SimTime now = inner_.now();
+  for (const Message& m : batch) stats_.queue_wait_total += now - m.sent_at;
+
   if (batch.size() == 1) {
     // No coalescing happened; skip the envelope overhead.
     ++stats_.envelopes;
@@ -118,8 +123,7 @@ void BatchingTransport::flush_all() {
 
 void BatchingTransport::on_message(const Message& msg) {
   if (msg.type == kBatchType) {
-    const auto& members = std::any_cast<const std::vector<Message>&>(
-        msg.payload);
+    const auto& members = msg.payload.as<std::vector<Message>>();
     for (const Message& m : members) deliver(m);
     return;
   }
@@ -127,8 +131,9 @@ void BatchingTransport::on_message(const Message& msg) {
 }
 
 void BatchingTransport::deliver(const Message& msg) {
-  auto it = handlers_.find(msg.to);
-  if (it != handlers_.end()) it->second->on_message(msg);
+  if (msg.to < handlers_.size() && handlers_[msg.to] != nullptr) {
+    handlers_[msg.to]->on_message(msg);
+  }
 }
 
 SimTime BatchingTransport::now() const { return inner_.now(); }

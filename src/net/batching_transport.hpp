@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/msg_type.hpp"
 #include "net/transport.hpp"
 
 namespace idea::net {
@@ -40,6 +41,9 @@ struct BatchingStats {
   std::uint64_t envelopes = 0;         ///< Batch envelopes actually sent.
   std::uint64_t flushes_by_size = 0;   ///< Flushes forced by max_batch.
   std::uint64_t largest_batch = 0;
+  /// Time messages sat in destination queues before their flush (the
+  /// latency cost a nonzero window trades for bigger batches).
+  SimDuration queue_wait_total = 0;
 
   /// Average logical messages per wire envelope (>= 1).
   [[nodiscard]] double batch_factor() const {
@@ -47,6 +51,14 @@ struct BatchingStats {
                ? 1.0
                : static_cast<double>(logical_messages) /
                      static_cast<double>(envelopes);
+  }
+
+  /// Mean per-message queueing delay added by batching, in microseconds.
+  [[nodiscard]] double avg_queue_wait_usec() const {
+    return logical_messages == 0
+               ? 0.0
+               : static_cast<double>(queue_wait_total) /
+                     static_cast<double>(logical_messages);
   }
 };
 
@@ -75,7 +87,7 @@ class BatchingTransport final : public Transport, private MessageHandler {
 
   [[nodiscard]] const BatchingStats& stats() const { return stats_; }
 
-  static constexpr const char* kBatchType = "net.batch";
+  static const MsgType kBatchType;  ///< Interned "net.batch".
 
  private:
   /// Key of a pending queue: one ordered (from, to) pair.  Batching across
@@ -97,7 +109,7 @@ class BatchingTransport final : public Transport, private MessageHandler {
 
   Transport& inner_;
   BatchingOptions options_;
-  std::unordered_map<NodeId, MessageHandler*> handlers_;
+  std::vector<MessageHandler*> handlers_;  ///< Indexed by node id.
   std::unordered_map<PairKey, Queue> queues_;
   BatchingStats stats_;
 };

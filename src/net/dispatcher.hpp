@@ -5,9 +5,18 @@
 /// A node runs several protocol agents (RanSub, gossip, detection,
 /// resolution).  The transport delivers to one handler per node; the
 /// Dispatcher routes by message-type prefix ("ransub.", "gossip.", ...).
+///
+/// Routing is resolved per interned type id, not per message: the first
+/// message of a given type walks the prefix table (longest match wins) and
+/// memoizes the winning handler in a flat array indexed by type id, so the
+/// steady-state dispatch is one array load.  route()/unroute() bump a
+/// version that lazily invalidates the memo.
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/message.hpp"
 
@@ -19,25 +28,51 @@ class Dispatcher final : public MessageHandler {
   /// Longest matching prefix wins.
   void route(std::string prefix, MessageHandler* handler) {
     routes_[std::move(prefix)] = handler;
+    ++version_;
   }
 
-  void unroute(const std::string& prefix) { routes_.erase(prefix); }
+  void unroute(const std::string& prefix) {
+    routes_.erase(prefix);
+    ++version_;
+  }
 
   void on_message(const Message& msg) override {
+    const std::uint16_t id = msg.type.id();
+    if (id >= cache_.size()) {
+      cache_.resize(std::max<std::uint32_t>(MsgType::registered_count(),
+                                            std::uint32_t{id} + 1));
+    }
+    CacheEntry& entry = cache_[id];
+    if (entry.version != version_) {
+      entry.handler = resolve(msg.type);
+      entry.version = version_;
+    }
+    if (entry.handler != nullptr) entry.handler->on_message(msg);
+  }
+
+ private:
+  struct CacheEntry {
+    MessageHandler* handler = nullptr;
+    std::uint64_t version = 0;  ///< 0 never matches a live version_.
+  };
+
+  [[nodiscard]] MessageHandler* resolve(MsgType type) const {
+    const std::string_view name = type.name();
     MessageHandler* best = nullptr;
     std::size_t best_len = 0;
     for (const auto& [prefix, handler] : routes_) {
       if (prefix.size() >= best_len &&
-          msg.type.compare(0, prefix.size(), prefix) == 0) {
+          name.compare(0, prefix.size(), prefix) == 0) {
         best = handler;
         best_len = prefix.size();
       }
     }
-    if (best != nullptr) best->on_message(msg);
+    return best;
   }
 
- private:
   std::map<std::string, MessageHandler*> routes_;
+  std::uint64_t version_ = 1;
+  std::vector<CacheEntry> cache_;  ///< Indexed by MsgType id.
 };
 
 }  // namespace idea::net

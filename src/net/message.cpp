@@ -1,32 +1,43 @@
 #include "net/message.hpp"
 
+#include <algorithm>
+
 namespace idea::net {
 
-void MessageCounters::record(const std::string& type, std::uint32_t bytes) {
-  ++messages_;
-  bytes_ += bytes;
-  ++per_type_[type];
+void MessageCounters::grow(std::uint16_t id) {
+  // Size to the full registry so one grow covers every type interned so
+  // far; +1 guards the (impossible in practice) case of an id from a
+  // foreign registry snapshot.
+  const std::uint32_t want =
+      std::max<std::uint32_t>(MsgType::registered_count(),
+                              static_cast<std::uint32_t>(id) + 1);
+  per_type_.resize(want, 0);
 }
 
-std::uint64_t MessageCounters::messages_of(const std::string& type) const {
-  auto it = per_type_.find(type);
-  return it == per_type_.end() ? 0 : it->second;
+std::map<std::string, std::uint64_t> MessageCounters::by_type() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t id = 0; id < per_type_.size(); ++id) {
+    if (per_type_[id] == 0) continue;
+    out.emplace(
+        std::string(MsgType::from_id(static_cast<std::uint16_t>(id)).name()),
+        per_type_[id]);
+  }
+  return out;
 }
 
 std::uint64_t MessageCounters::messages_with_prefix(
-    const std::string& prefix) const {
+    std::string_view prefix) const {
   std::uint64_t n = 0;
-  for (auto it = per_type_.lower_bound(prefix); it != per_type_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    n += it->second;
-  }
+  MsgTypeRegistry::for_each_with_prefix(prefix, [&](MsgType t) {
+    n += messages_of(t);
+  });
   return n;
 }
 
 void MessageCounters::reset() {
   messages_ = 0;
   bytes_ = 0;
-  per_type_.clear();
+  per_type_.assign(per_type_.size(), 0);
 }
 
 }  // namespace idea::net

@@ -3,17 +3,24 @@
 /// \brief Protocol message representation and accounting.
 ///
 /// IDEA runs in-process (simulated or threaded), so messages carry typed
-/// payloads via std::any instead of serialized bytes.  Each message still
-/// declares a `wire_bytes` estimate so the overhead benches (Table 3) can
-/// account communication cost the way the paper does (message counts and
-/// an assumed ~1 KB packet size).
+/// payloads (see payload.hpp) instead of serialized bytes.  Each message
+/// still declares a `wire_bytes` estimate so the overhead benches (Table 3)
+/// can account communication cost the way the paper does (message counts
+/// and an assumed ~1 KB packet size).
+///
+/// The hot-path representation is deliberately lean: the protocol tag is an
+/// interned MsgType id (one comparison / one array index instead of string
+/// hashing), and the body is a refcounted immutable Payload, so copying a
+/// Message at a transport hop costs a refcount bump, not a deep copy.
 
-#include <any>
 #include <cstdint>
 #include <map>
 #include <string>
-#include <utility>
+#include <string_view>
+#include <vector>
 
+#include "net/msg_type.hpp"
+#include "net/payload.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -24,37 +31,65 @@ struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   FileId file = 0;          ///< Shared object this message concerns.
-  std::string type;         ///< Protocol tag, e.g. "detect.vv".
-  std::any payload;         ///< Typed body; receiver any_casts by `type`.
+  MsgType type;             ///< Interned protocol tag, e.g. "detect.vv".
+  Payload payload;          ///< Shared immutable body; receiver casts by type.
   std::uint32_t wire_bytes = 64;  ///< Estimated on-the-wire size.
   SimTime sent_at = 0;      ///< Stamped by the transport on send.
 };
 
 /// Per-type and total message/byte counters.
 ///
-/// Counter reads are cheap and the benches snapshot/reset between phases, so
-/// background-resolution overhead can be attributed per period (Table 3).
+/// Per-type counts live in a flat array indexed by the interned type id, so
+/// the record() on every send is two increments and an array bump — no map
+/// node allocation, no string hashing.  Counter reads are cheap and the
+/// benches snapshot/reset between phases, so background-resolution overhead
+/// can be attributed per period (Table 3).
 class MessageCounters {
  public:
-  void record(const std::string& type, std::uint32_t bytes);
+  void record(MsgType type, std::uint32_t bytes) {
+    ++messages_;
+    bytes_ += bytes;
+    const std::uint16_t id = type.id();
+    if (id >= per_type_.size()) grow(id);
+    ++per_type_[id];
+  }
+
+  /// Convenience for tests/diagnostics that speak names; interns `type`.
+  void record(std::string_view type, std::uint32_t bytes) {
+    record(MsgType::intern(type), bytes);
+  }
 
   [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }
-  [[nodiscard]] std::uint64_t messages_of(const std::string& type) const;
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& by_type() const {
-    return per_type_;
+
+  [[nodiscard]] std::uint64_t messages_of(MsgType type) const {
+    return type.id() < per_type_.size() ? per_type_[type.id()] : 0;
+  }
+  [[nodiscard]] std::uint64_t messages_of(std::string_view type) const {
+    // A never-interned name must count 0 — lookup's invalid MsgType (id 0)
+    // would otherwise alias the untyped-message bucket.
+    const MsgType t = MsgType::lookup(type);
+    return t.valid() ? messages_of(t) : 0;
   }
 
-  /// Messages whose type starts with `prefix` (e.g. "resolve.").
+  /// Name-keyed snapshot of the nonzero per-type counts (diagnostics and
+  /// bench reports; not a hot path).
+  [[nodiscard]] std::map<std::string, std::uint64_t> by_type() const;
+
+  /// Messages whose type starts with `prefix` (e.g. "resolve."), resolved
+  /// through the registry's ordered name index (a lower_bound range walk,
+  /// not a scan over every recorded type).
   [[nodiscard]] std::uint64_t messages_with_prefix(
-      const std::string& prefix) const;
+      std::string_view prefix) const;
 
   void reset();
 
  private:
+  void grow(std::uint16_t id);
+
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
-  std::map<std::string, std::uint64_t> per_type_;
+  std::vector<std::uint64_t> per_type_;  ///< Indexed by MsgType id.
 };
 
 /// Receiver interface implemented by every protocol node.

@@ -1,0 +1,99 @@
+#include "net/msg_type.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+namespace idea::net {
+namespace {
+
+/// Process-wide interning state.  `names` is a deque so the strings that
+/// back every MsgType::name() view never move; `by_name` is an ordered map
+/// so prefix queries can walk a lower_bound range.
+struct Registry {
+  std::shared_mutex mu;
+  std::deque<std::string> names;  // index = id; [0] reserved for "?"
+  std::map<std::string, std::uint16_t, std::less<>> by_name;
+
+  Registry() { names.emplace_back("?"); }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+MsgType MsgType::intern(std::string_view name) {
+  assert(!name.empty());
+  Registry& r = registry();
+  {
+    std::shared_lock lock(r.mu);
+    auto it = r.by_name.find(name);
+    if (it != r.by_name.end()) return MsgType(it->second);
+  }
+  std::unique_lock lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return MsgType(it->second);
+  if (r.names.size() > UINT16_MAX) {
+    // A wrapped id would alias the reserved invalid type and silently
+    // corrupt dispatch and counters; die loudly instead (record() interns
+    // caller-supplied names, so this is reachable from dynamic strings).
+    std::fprintf(stderr,
+                 "MsgType registry exhausted (%zu types); cannot intern "
+                 "\"%.*s\"\n",
+                 r.names.size(), static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  const auto id = static_cast<std::uint16_t>(r.names.size());
+  r.names.emplace_back(name);
+  r.by_name.emplace(r.names.back(), id);
+  return MsgType(id);
+}
+
+MsgType MsgType::lookup(std::string_view name) {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  auto it = r.by_name.find(name);
+  return it == r.by_name.end() ? MsgType() : MsgType(it->second);
+}
+
+std::uint32_t MsgType::registered_count() {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  return static_cast<std::uint32_t>(r.names.size());
+}
+
+std::string_view MsgType::name() const {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  return id_ < r.names.size() ? std::string_view(r.names[id_])
+                              : std::string_view("?");
+}
+
+std::size_t MsgTypeRegistry::prefix_range(std::string_view prefix,
+                                          std::uint16_t* out,
+                                          std::size_t cap,
+                                          std::size_t skip) {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  std::size_t n = 0;
+  for (auto it = r.by_name.lower_bound(prefix);
+       it != r.by_name.end() && n < cap; ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (skip > 0) {
+      --skip;
+      continue;
+    }
+    out[n++] = it->second;
+  }
+  return n;
+}
+
+}  // namespace idea::net

@@ -1,0 +1,99 @@
+#pragma once
+/// \file msg_type.hpp
+/// \brief Interned protocol message types.
+///
+/// Every message the middleware sends used to carry its protocol tag as a
+/// heap-allocated std::string ("detect.probe", "resolve.attn", ...) that was
+/// copied at each transport hop and hashed/compared on every dispatch and
+/// counter update.  A MsgType is the interned form: a small integer id into
+/// a process-wide registry that maps id <-> name.  Ids compare in one
+/// instruction, index flat counter arrays directly, and cost nothing to
+/// copy; the registry keeps the names for logging, counter snapshots and
+/// prefix queries ("resolve.*").
+///
+/// Interning is done once, at static-initialization time, for the protocol
+/// constants (e.g. `Detector::kProbeType`); the hot path never touches the
+/// registry's string index.  The registry is append-only and guarded by a
+/// shared mutex so ThreadTransport's cross-thread sends stay safe.
+
+#include <cstdint>
+#include <string_view>
+
+namespace idea::net {
+
+class MsgType {
+ public:
+  /// The invalid/unset type; its name renders as "?".
+  constexpr MsgType() = default;
+
+  /// Intern `name`, returning the existing id when already registered.
+  static MsgType intern(std::string_view name);
+
+  /// Look up an already-interned name; returns the invalid MsgType (id 0,
+  /// !valid()) when `name` was never interned.
+  static MsgType lookup(std::string_view name);
+
+  /// Number of ids handed out so far, including the reserved id 0 — the
+  /// size flat per-type arrays must have to be indexable by any live id.
+  static std::uint32_t registered_count();
+
+  /// The interned name ("?" for the invalid type).  The returned view
+  /// points into the registry and stays valid for the process lifetime.
+  [[nodiscard]] std::string_view name() const;
+
+  [[nodiscard]] constexpr std::uint16_t id() const { return id_; }
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+
+  /// True iff the interned name starts with `prefix`.
+  [[nodiscard]] bool has_prefix(std::string_view prefix) const {
+    const std::string_view n = name();
+    return n.size() >= prefix.size() &&
+           n.compare(0, prefix.size(), prefix) == 0;
+  }
+
+  friend constexpr bool operator==(MsgType, MsgType) = default;
+
+  /// Rebuild a MsgType from a raw id (counter snapshots, caches).  The id
+  /// must have come from this process's registry.
+  static constexpr MsgType from_id(std::uint16_t id) { return MsgType(id); }
+
+ private:
+  explicit constexpr MsgType(std::uint16_t id) : id_(id) {}
+
+  friend class MsgTypeRegistry;
+  std::uint16_t id_ = 0;
+};
+
+/// Registry queries that need the name->id index (diagnostics, prefix
+/// accounting).  Separated from MsgType so the hot path's includes stay
+/// trivial.
+class MsgTypeRegistry {
+ public:
+  /// Invoke `fn(MsgType)` for every interned type whose name starts with
+  /// `prefix`, in lexicographic name order.  Uses the ordered name index's
+  /// lower_bound, so the cost is O(log types + matches), not O(types).
+  /// Matches beyond the stack batch size resume where the last batch
+  /// ended, so arbitrarily large prefix families are covered.
+  template <typename Fn>
+  static void for_each_with_prefix(std::string_view prefix, Fn&& fn) {
+    std::uint16_t ids[kPrefixBatch];
+    std::size_t skip = 0;
+    for (;;) {
+      const std::size_t n = prefix_range(prefix, ids, kPrefixBatch, skip);
+      for (std::size_t i = 0; i < n; ++i) fn(MsgType(ids[i]));
+      if (n < kPrefixBatch) return;
+      skip += n;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kPrefixBatch = 256;
+
+  /// Fill `out` with up to `cap` ids whose names start with `prefix`
+  /// (name-ordered), skipping the first `skip` matches; returns how many
+  /// were written.
+  static std::size_t prefix_range(std::string_view prefix, std::uint16_t* out,
+                                  std::size_t cap, std::size_t skip);
+};
+
+}  // namespace idea::net

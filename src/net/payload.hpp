@@ -1,0 +1,73 @@
+#pragma once
+/// \file payload.hpp
+/// \brief Zero-copy type-erased message body.
+///
+/// Messages used to carry their body in a std::any, which deep-copies the
+/// contained value every time a Message is copied — once when the transport
+/// captures it for delayed delivery, again per batching/group-translation
+/// hop.  Payload erases the type behind a `std::shared_ptr<const T>`: the
+/// body is allocated once at the send site and every subsequent Message
+/// copy is a refcount bump.  Receivers get `const&` access only, so the
+/// shared body is immutable by construction — exactly the semantics a
+/// message that may still be in flight to other destinations needs.
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+
+namespace idea::net {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Implicitly wrap any value (`msg.payload = ProbePayload{...}`): the
+  /// value is moved into a shared immutable allocation.
+  template <typename T, typename D = std::decay_t<T>,
+            typename = std::enable_if_t<!std::is_same_v<D, Payload>>>
+  Payload(T&& value)  // NOLINT(google-explicit-constructor)
+      : ptr_(std::make_shared<const D>(std::forward<T>(value))),
+        type_(&typeid(D)) {}
+
+  /// Adopt an already-shared body without another allocation.
+  template <typename T>
+  static Payload wrap(std::shared_ptr<const T> ptr) {
+    Payload p;
+    p.type_ = ptr ? &typeid(T) : nullptr;
+    p.ptr_ = std::move(ptr);
+    return p;
+  }
+
+  [[nodiscard]] bool has_value() const { return ptr_ != nullptr; }
+
+  /// The body as `const T*`; nullptr when empty or of a different type.
+  template <typename T>
+  [[nodiscard]] const T* get() const {
+    return type_ != nullptr && *type_ == typeid(T)
+               ? static_cast<const T*>(ptr_.get())
+               : nullptr;
+  }
+
+  /// The body as `const T&`.  The caller asserts the type (receivers
+  /// already dispatched on the message type); mismatches trip the assert
+  /// in debug builds and are undefined in release, like any_cast misuse.
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    const T* p = get<T>();
+    assert(p != nullptr && "payload type mismatch");
+    return *p;
+  }
+
+  void reset() {
+    ptr_.reset();
+    type_ = nullptr;
+  }
+
+ private:
+  std::shared_ptr<const void> ptr_;
+  const std::type_info* type_ = nullptr;
+};
+
+}  // namespace idea::net

@@ -1,12 +1,14 @@
 #include "net/sim_transport.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace idea::net {
 
 SimTransport::SimTransport(sim::Simulator& sim, sim::LatencyModel& latency,
                            SimTransportOptions options)
     : sim_(sim), latency_(latency), options_(options), rng_(options.seed) {
+  handlers_.resize(options_.node_count, nullptr);
   skew_.resize(options_.node_count, 0);
   if (options_.max_clock_skew > 0) {
     for (auto& s : skew_) {
@@ -18,11 +20,14 @@ SimTransport::SimTransport(sim::Simulator& sim, sim::LatencyModel& latency,
 
 void SimTransport::attach(NodeId node, MessageHandler* handler) {
   assert(handler != nullptr);
+  if (node >= handlers_.size()) handlers_.resize(node + 1, nullptr);
   handlers_[node] = handler;
   if (node >= skew_.size()) skew_.resize(node + 1, 0);
 }
 
-void SimTransport::detach(NodeId node) { handlers_.erase(node); }
+void SimTransport::detach(NodeId node) {
+  if (node < handlers_.size()) handlers_[node] = nullptr;
+}
 
 void SimTransport::send(Message msg) {
   msg.sent_at = sim_.now();
@@ -32,10 +37,27 @@ void SimTransport::send(Message msg) {
     return;
   }
   const SimDuration delay = latency_.sample(msg.from, msg.to, rng_);
-  sim_.schedule_after(delay, [this, m = std::move(msg)]() {
-    auto it = handlers_.find(m.to);
-    if (it != handlers_.end()) it->second->on_message(m);
-  });
+  // Park the message in the slab; the delivery closure captures only the
+  // slot index, so it fits std::function's inline storage.
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    in_flight_[slot] = std::move(msg);
+  } else {
+    slot = static_cast<std::uint32_t>(in_flight_.size());
+    in_flight_.push_back(std::move(msg));
+  }
+  sim_.schedule_after(delay, [this, slot] { deliver_slot(slot); });
+}
+
+void SimTransport::deliver_slot(std::uint32_t slot) {
+  Message msg = std::move(in_flight_[slot]);
+  in_flight_[slot] = Message{};
+  free_slots_.push_back(slot);
+  if (msg.to < handlers_.size() && handlers_[msg.to] != nullptr) {
+    handlers_[msg.to]->on_message(msg);
+  }
 }
 
 SimTime SimTransport::now() const { return sim_.now(); }

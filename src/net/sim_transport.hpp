@@ -6,9 +6,14 @@
 /// drops the message, and schedules delivery on the simulator.  Per-node
 /// clock skew is sampled once at construction (the paper assumes NTP keeps
 /// node clocks within seconds of each other; we default to ±250 ms).
+///
+/// Hot-path layout: handlers live in a flat vector indexed by node id, and
+/// in-flight messages are parked in a recycled slab so the scheduled
+/// delivery closure captures only {transport, slot index} — small enough
+/// for std::function's inline buffer, so a send allocates nothing beyond
+/// the slab's amortized growth.
 
-#include <memory>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -49,12 +54,16 @@ class SimTransport final : public Transport {
   [[nodiscard]] SimDuration skew_of(NodeId node) const;
 
  private:
+  void deliver_slot(std::uint32_t slot);
+
   sim::Simulator& sim_;
   sim::LatencyModel& latency_;
   SimTransportOptions options_;
   Rng rng_;
-  std::unordered_map<NodeId, MessageHandler*> handlers_;
+  std::vector<MessageHandler*> handlers_;  ///< Indexed by node id.
   std::vector<SimDuration> skew_;
+  std::vector<Message> in_flight_;         ///< Slab of scheduled messages.
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t dropped_ = 0;
 };
 

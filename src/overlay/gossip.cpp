@@ -4,6 +4,9 @@
 
 namespace idea::overlay {
 
+const net::MsgType GossipAgent::kGossipType =
+    net::MsgType::intern("gossip.push");
+
 GossipAgent::GossipAgent(NodeId self, net::Transport& transport,
                          GossipParams params,
                          std::function<void(const GossipEnvelope&)> deliver,
@@ -13,14 +16,14 @@ GossipAgent::GossipAgent(NodeId self, net::Transport& transport,
   assert(params_.nodes > 0);
 }
 
-std::uint64_t GossipAgent::broadcast(FileId file, std::string inner_type,
-                                     std::any inner,
+std::uint64_t GossipAgent::broadcast(FileId file, net::MsgType inner_type,
+                                     net::Payload inner,
                                      std::uint32_t inner_bytes) {
   GossipEnvelope env;
   env.rumor_id = (static_cast<std::uint64_t>(self_) << 40) | next_rumor_++;
   env.origin = self_;
   env.ttl = params_.ttl;
-  env.inner_type = std::move(inner_type);
+  env.inner_type = inner_type;
   env.inner = std::move(inner);
   env.inner_bytes = inner_bytes;
   seen_.insert(env.rumor_id);
@@ -31,7 +34,7 @@ std::uint64_t GossipAgent::broadcast(FileId file, std::string inner_type,
 
 void GossipAgent::on_message(const net::Message& msg) {
   if (msg.type != kGossipType) return;
-  const auto& env = std::any_cast<const GossipEnvelope&>(msg.payload);
+  const auto& env = msg.payload.as<GossipEnvelope>();
   if (!seen_.insert(env.rumor_id).second) return;  // duplicate
   deliver_(env);
   if (env.ttl > 0) {
@@ -46,6 +49,8 @@ void GossipAgent::forward(const GossipEnvelope& env, FileId file) {
   const std::uint32_t want = std::min(params_.fanout, params_.nodes - 1);
   // Sample distinct targets from all nodes except self.
   auto sample = rng_.sample_without_replacement(params_.nodes - 1, want);
+  // One shared envelope for every fanout target; each send refcounts it.
+  const net::Payload shared_env = env;
   for (std::uint32_t idx : sample) {
     const NodeId target = idx >= self_ ? idx + 1 : idx;
     net::Message m;
@@ -53,7 +58,7 @@ void GossipAgent::forward(const GossipEnvelope& env, FileId file) {
     m.to = target;
     m.file = file;
     m.type = kGossipType;
-    m.payload = env;
+    m.payload = shared_env;
     m.wire_bytes = 32 + env.inner_bytes;
     transport_.send(std::move(m));
   }

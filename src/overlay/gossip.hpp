@@ -7,11 +7,11 @@
 /// and is pushed to `fanout` random peers per hop; TTL bounds the traversal
 /// delay, trading coverage for responsiveness exactly as §4.4.2 describes.
 
-#include <any>
 #include <functional>
-#include <string>
 #include <unordered_set>
 
+#include "net/msg_type.hpp"
+#include "net/payload.hpp"
 #include "net/transport.hpp"
 #include "util/rng.hpp"
 
@@ -24,12 +24,15 @@ struct GossipParams {
 };
 
 /// Envelope wrapped around the application payload while it gossips.
+/// The inner body is a refcounted net::Payload, so re-forwarding a rumor
+/// to `fanout` peers shares one allocation instead of deep-copying the
+/// application data per hop.
 struct GossipEnvelope {
   std::uint64_t rumor_id = 0;
   NodeId origin = kNoNode;
   std::uint32_t ttl = 0;
-  std::string inner_type;
-  std::any inner;
+  net::MsgType inner_type;
+  net::Payload inner;
   std::uint32_t inner_bytes = 0;
 };
 
@@ -45,12 +48,12 @@ class GossipAgent final : public net::MessageHandler {
   GossipAgent& operator=(const GossipAgent&) = delete;
 
   /// Start a rumor from this node.  Returns its id.
-  std::uint64_t broadcast(FileId file, std::string inner_type,
-                          std::any inner, std::uint32_t inner_bytes);
+  std::uint64_t broadcast(FileId file, net::MsgType inner_type,
+                          net::Payload inner, std::uint32_t inner_bytes);
 
   void on_message(const net::Message& msg) override;
 
-  static constexpr const char* kGossipType = "gossip.push";
+  static const net::MsgType kGossipType;  ///< Interned "gossip.push".
 
   [[nodiscard]] std::uint64_t rumors_seen() const { return seen_.size(); }
 

@@ -28,6 +28,13 @@ std::uint32_t ads_wire_bytes(std::size_t n) {
 
 }  // namespace
 
+const net::MsgType RanSubAgent::kCollectType =
+    net::MsgType::intern("ransub.collect");
+const net::MsgType RanSubAgent::kDistributeType =
+    net::MsgType::intern("ransub.distribute");
+const net::MsgType RanSubAgent::kEpochType =
+    net::MsgType::intern("ransub.epoch");
+
 std::vector<NodeId> KaryTree::children(NodeId n) const {
   std::vector<NodeId> out;
   for (std::uint32_t c = 1; c <= arity; ++c) {
@@ -97,7 +104,7 @@ void RanSubAgent::on_message(const net::Message& msg) {
 }
 
 void RanSubAgent::on_epoch_marker(const net::Message& msg) {
-  const auto& p = std::any_cast<const EpochPayload&>(msg.payload);
+  const auto& p = msg.payload.as<EpochPayload>();
   current_epoch_ = p.epoch;
   pending_children_.clear();
   collect_done_ = false;
@@ -130,7 +137,7 @@ void RanSubAgent::on_epoch_marker(const net::Message& msg) {
 }
 
 void RanSubAgent::on_collect(const net::Message& msg) {
-  const auto& p = std::any_cast<const CollectPayload&>(msg.payload);
+  const auto& p = msg.payload.as<CollectPayload>();
   if (p.epoch != current_epoch_) return;  // stale wave
   pending_children_[msg.from] = Sample{p.ads, p.weight};
   try_finish_collect();
@@ -192,7 +199,7 @@ void RanSubAgent::finish_collect() {
 }
 
 void RanSubAgent::on_distribute(const net::Message& msg) {
-  const auto& p = std::any_cast<const DistributePayload&>(msg.payload);
+  const auto& p = msg.payload.as<DistributePayload>();
   if (p.epoch != current_epoch_) return;
   deliver_(p.subset);
   ++epochs_;

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/msg_type.hpp"
 #include "net/transport.hpp"
 #include "util/rng.hpp"
 
@@ -79,9 +80,9 @@ class RanSubAgent final : public net::MessageHandler {
   void on_message(const net::Message& msg) override;
 
   /// Messages types used by the protocol (exposed for accounting).
-  static constexpr const char* kCollectType = "ransub.collect";
-  static constexpr const char* kDistributeType = "ransub.distribute";
-  static constexpr const char* kEpochType = "ransub.epoch";
+  static const net::MsgType kCollectType;      ///< "ransub.collect"
+  static const net::MsgType kDistributeType;   ///< "ransub.distribute"
+  static const net::MsgType kEpochType;        ///< "ransub.epoch"
 
   [[nodiscard]] std::uint64_t epochs_completed() const { return epochs_; }
 

@@ -156,6 +156,9 @@ void ReplicaStore::recompute_meta() {
     if (!u.invalidated) meta += u.meta_delta;
   }
   evv_.set_meta(meta);
+  // Every content mutation funnels through here; drop the shared message
+  // snapshot so the next send sees the new state.
+  snapshot_.reset();
 }
 
 }  // namespace idea::replica

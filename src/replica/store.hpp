@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,8 +67,23 @@ class ReplicaStore {
   /// The extended version vector describing this replica.
   [[nodiscard]] const vv::ExtendedVersionVector& evv() const { return evv_; }
 
+  /// Shared immutable copy of the EVV for zero-copy message bodies: every
+  /// probe/reply/scan between two replica mutations refcounts one
+  /// allocation instead of copying the stamp lists per message.  Rebuilt
+  /// lazily after any mutation (updates, invalidation, rollback, triple).
+  [[nodiscard]] const std::shared_ptr<const vv::ExtendedVersionVector>&
+  evv_snapshot() const {
+    if (snapshot_ == nullptr) {
+      snapshot_ = std::make_shared<const vv::ExtendedVersionVector>(evv_);
+    }
+    return snapshot_;
+  }
+
   /// Attach a freshly computed error triple (done by the detection layer).
-  void set_triple(const vv::TactTriple& t) { evv_.set_triple(t); }
+  void set_triple(const vv::TactTriple& t) {
+    evv_.set_triple(t);
+    snapshot_.reset();
+  }
 
   /// Updates in canonical display order (what a reader sees).
   [[nodiscard]] std::vector<Update> ordered_contents() const;
@@ -98,6 +114,7 @@ class ReplicaStore {
   std::map<UpdateKey, Update> log_;
   std::map<UpdateKey, Update> pending_;  ///< Reorder buffer.
   vv::ExtendedVersionVector evv_;
+  mutable std::shared_ptr<const vv::ExtendedVersionVector> snapshot_;
 };
 
 }  // namespace idea::replica

@@ -1,9 +1,11 @@
 #include "shard/replica_sync.hpp"
 
-#include <any>
 #include <utility>
 
 namespace idea::shard {
+
+const net::MsgType ReplicaSyncAgent::kReplicateType =
+    net::MsgType::intern("shard.replicate");
 
 ReplicaSyncAgent::ReplicaSyncAgent(core::IdeaNode& node,
                                    net::Transport& transport,
@@ -26,7 +28,8 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
       store.find(replica::UpdateKey{node_.id(), store.local_seq()});
   if (u == nullptr) return true;  // defensive; apply_local just stored it
 
-  std::vector<replica::Update> payload{*u};
+  // One shared allocation for the whole fan-out; each send refcounts it.
+  const net::Payload payload = std::vector<replica::Update>{*u};
   const auto bytes = static_cast<std::uint32_t>(16 + u->wire_bytes());
   for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
     if (rank == node_.id()) continue;
@@ -45,8 +48,7 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
 
 void ReplicaSyncAgent::on_message(const net::Message& msg) {
   if (msg.type != kReplicateType) return;
-  const auto& updates =
-      std::any_cast<const std::vector<replica::Update>&>(msg.payload);
+  const auto& updates = msg.payload.as<std::vector<replica::Update>>();
   bool any_applied = false;
   for (const replica::Update& u : updates) {
     if (node_.store().has(u.key)) {

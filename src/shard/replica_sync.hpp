@@ -50,7 +50,7 @@ class ReplicaSyncAgent final : public net::MessageHandler {
 
   [[nodiscard]] const ReplicaSyncStats& stats() const { return stats_; }
 
-  static constexpr const char* kReplicateType = "shard.replicate";
+  static const net::MsgType kReplicateType;  ///< Interned "shard.replicate".
 
  private:
   core::IdeaNode& node_;

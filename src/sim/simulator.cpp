@@ -1,21 +1,121 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace idea::sim {
 
+void Simulator::EventHeap::sift_up(std::vector<QEntry>& heap) {
+  std::size_t i = heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!heap[i].before(heap[parent])) break;
+    std::swap(heap[i], heap[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::EventHeap::sift_down_from(std::vector<QEntry>& heap,
+                                          std::size_t i) {
+  const std::size_t n = heap.size();
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap[c].before(heap[best])) best = c;
+    }
+    if (!heap[best].before(heap[i])) break;
+    std::swap(heap[i], heap[best]);
+    i = best;
+  }
+}
+
+void Simulator::EventHeap::push(const QEntry& e) {
+  std::vector<QEntry>& band = e.time <= horizon_ ? near_ : far_;
+  band.push_back(e);
+  sift_up(band);
+}
+
+void Simulator::EventHeap::pop() {
+  if (near_.empty()) rebalance();
+  near_.front() = near_.back();
+  near_.pop_back();
+  sift_down_from(near_, 0);
+}
+
+void Simulator::EventHeap::rebalance() {
+  // Open the next band: everything up to (earliest far entry + kBand)
+  // becomes near.  Each entry migrates far->near at most once, and the
+  // far heap is rebuilt in place — O(far) per band advance, amortized
+  // O(1) per entry over a run.
+  horizon_ = far_.front().time + kBand;
+  std::size_t kept = 0;
+  for (QEntry& e : far_) {
+    if (e.time <= horizon_) {
+      near_.push_back(e);
+    } else {
+      far_[kept++] = e;
+    }
+  }
+  far_.resize(kept);
+  const auto heapify = [](std::vector<QEntry>& heap) {
+    if (heap.size() < 2) return;
+    for (std::size_t i = (heap.size() - 2) / 4 + 1; i-- > 0;) {
+      sift_down_from(heap, i);
+    }
+  };
+  heapify(near_);
+  heapify(far_);
+}
+
+std::uint32_t Simulator::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::free_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;  // release captured state eagerly
+  slot.period = 0;
+  slot.cancelled = false;
+  slot.queued = false;
+  ++slot.generation;  // kills stale EventIds and stale heap entries
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventId Simulator::arm(SimTime t, std::function<void()> fn,
+                       SimDuration period) {
+  const std::uint32_t index = alloc_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.order_key = next_key_++;
+  slot.period = period;
+  slot.cancelled = false;
+  slot.queued = true;
+  queue_.push(QEntry{t, slot.order_key, index, slot.generation});
+  ++live_;
+  return encode(index, slot.generation);
+}
+
 EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{t < now_ ? now_ : t, id, std::move(fn)});
-  return id;
+  return arm(t < now_ ? now_ : t, std::move(fn), 0);
 }
 
 EventId Simulator::schedule_after(SimDuration delay,
                                   std::function<void()> fn) {
   assert(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
+  return arm(now_ + (delay < 0 ? 0 : delay), std::move(fn), 0);
 }
 
 EventId Simulator::schedule_periodic(SimDuration period,
@@ -23,46 +123,64 @@ EventId Simulator::schedule_periodic(SimDuration period,
                                      SimDuration initial_delay) {
   assert(period > 0);
   if (initial_delay < 0) initial_delay = period;
-  const EventId chain = next_id_++;
-  periodic_alive_.insert(chain);
-  // The chain's events reuse `chain` as their queue id so that cancel(chain)
-  // kills whichever occurrence is pending.
-  queue_.push(Event{now_ + initial_delay, chain,
-                    [this, chain, period, f = std::move(fn)]() mutable {
-                      f();
-                      reschedule_periodic(chain, period, f);
-                    }});
-  return chain;
-}
-
-void Simulator::reschedule_periodic(EventId chain, SimDuration period,
-                                    std::function<void()> fn) {
-  if (!periodic_alive_.count(chain)) return;  // cancelled from inside fn()
-  queue_.push(Event{now_ + period, chain,
-                    [this, chain, period, f = std::move(fn)]() mutable {
-                      f();
-                      reschedule_periodic(chain, period, f);
-                    }});
+  return arm(now_ + initial_delay, std::move(fn), period);
 }
 
 bool Simulator::cancel(EventId id) {
-  const bool was_periodic = periodic_alive_.erase(id) > 0;
-  // Lazy deletion: mark; skip when popped.
-  const bool inserted = cancelled_.insert(id).second;
-  return was_periodic || inserted;
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t index = slot_of(id);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (slot.generation != gen_of(id) || slot.cancelled) return false;
+  slot.cancelled = true;
+  // A periodic chain cancelled from inside its own callback has no heap
+  // entry right now — its firing already left the pending count at pop
+  // time, and the tombstone stops the re-arm; only a queued occurrence
+  // still counts as pending.
+  if (slot.queued) --live_;
+  return true;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const QEntry entry = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(ev.id) > 0 && !periodic_alive_.count(ev.id)) {
-      continue;  // skip cancelled one-shot
+    {
+      Slot& slot = slots_[entry.slot];
+      if (slot.generation != entry.gen) continue;  // recycled: stale entry
+      slot.queued = false;
+      if (slot.cancelled) {                        // tombstoned: reap lazily
+        free_slot(entry.slot);
+        continue;
+      }
     }
-    assert(ev.time >= now_);
-    now_ = ev.time;
+    assert(entry.time >= now_);
+    now_ = entry.time;
     ++events_processed_;
-    ev.fn();
+    --live_;
+    if (slots_[entry.slot].period > 0) {
+      // Steal the callback for the call: the callback may schedule events
+      // and reallocate slots_, and must observe a consistent slot if it
+      // cancels its own chain.
+      std::function<void()> fn = std::move(slots_[entry.slot].fn);
+      fn();
+      Slot& slot = slots_[entry.slot];  // re-resolve: slab may have moved
+      if (slot.cancelled) {
+        free_slot(entry.slot);  // cancelled from inside the callback
+      } else {
+        slot.fn = std::move(fn);  // re-arm the same slot: id stays valid
+        slot.queued = true;
+        queue_.push(
+            QEntry{now_ + slot.period, slot.order_key, entry.slot, entry.gen});
+        ++live_;
+      }
+    } else {
+      // One-shot: recycle before the call so the callback can reuse the
+      // slot and a self-cancel correctly reports "no longer pending".
+      std::function<void()> fn = std::move(slots_[entry.slot].fn);
+      free_slot(entry.slot);
+      fn();
+    }
     return true;
   }
   return false;
@@ -73,18 +191,36 @@ void Simulator::run(std::uint64_t limit) {
   }
 }
 
+SimTime Simulator::next_live_event_time() {
+  // Reap dead heap heads (recycled-slot leftovers and cancelled
+  // tombstones) so the caller sees the time of the next event that will
+  // actually run.  Reaping only removes entries step() would skip anyway,
+  // so the live pop order is untouched.
+  while (!queue_.empty()) {
+    const QEntry entry = queue_.top();
+    Slot& slot = slots_[entry.slot];
+    if (slot.generation != entry.gen) {
+      queue_.pop();
+      continue;
+    }
+    if (slot.cancelled) {
+      slot.queued = false;
+      free_slot(entry.slot);
+      queue_.pop();
+      continue;
+    }
+    return entry.time;
+  }
+  return kNever;
+}
+
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  // Consult the next *live* event: a cancelled tombstone at the head must
+  // not bait step() into running an event past t.
+  while (next_live_event_time() <= t) {
     if (!step()) break;
   }
   if (now_ < t) now_ = t;
-}
-
-std::size_t Simulator::pending() const {
-  // cancelled_ may contain ids already popped; this is a diagnostic bound.
-  return queue_.size() >= cancelled_.size()
-             ? queue_.size() - cancelled_.size()
-             : 0;
 }
 
 }  // namespace idea::sim

@@ -6,9 +6,29 @@
 
 namespace idea::vv {
 
+std::size_t ExtendedVersionVector::lower_bound(NodeId writer) const {
+  const auto it = std::lower_bound(
+      stamps_.begin(), stamps_.end(), writer,
+      [](const WriterStamps& e, NodeId w) { return e.first < w; });
+  return static_cast<std::size_t>(it - stamps_.begin());
+}
+
+const std::vector<SimTime>* ExtendedVersionVector::stamps_of(
+    NodeId writer) const {
+  const std::size_t i = lower_bound(writer);
+  return i < stamps_.size() && stamps_[i].first == writer
+             ? &stamps_[i].second
+             : nullptr;
+}
+
 void ExtendedVersionVector::record_update(NodeId writer, SimTime when,
                                           double meta_after) {
-  auto& list = stamps_[writer];
+  const std::size_t i = lower_bound(writer);
+  if (i == stamps_.size() || stamps_[i].first != writer) {
+    stamps_.insert(stamps_.begin() + static_cast<std::ptrdiff_t>(i),
+                   WriterStamps{writer, {}});
+  }
+  auto& list = stamps_[i].second;
   assert((list.empty() || list.back() <= when) &&
          "a writer's stamps must be non-decreasing");
   list.push_back(when);
@@ -16,21 +36,22 @@ void ExtendedVersionVector::record_update(NodeId writer, SimTime when,
 }
 
 std::uint64_t ExtendedVersionVector::count_of(NodeId writer) const {
-  auto it = stamps_.find(writer);
-  return it == stamps_.end() ? 0 : it->second.size();
+  const std::vector<SimTime>* list = stamps_of(writer);
+  return list == nullptr ? 0 : list->size();
 }
 
 SimTime ExtendedVersionVector::stamp_of(NodeId writer,
                                         std::uint64_t seq) const {
-  auto it = stamps_.find(writer);
-  if (it == stamps_.end() || seq == 0 || seq > it->second.size()) {
+  const std::vector<SimTime>* list = stamps_of(writer);
+  if (list == nullptr || seq == 0 || seq > list->size()) {
     return kNever;
   }
-  return it->second[seq - 1];
+  return (*list)[seq - 1];
 }
 
 VersionVector ExtendedVersionVector::counts() const {
   VersionVector v;
+  // stamps_ is writer-sorted, so each set() appends at the end — linear.
   for (const auto& [w, list] : stamps_) {
     v.set(w, list.size());
   }
@@ -136,15 +157,31 @@ TactTriple ExtendedVersionVector::triple_against(
 void ExtendedVersionVector::merge(const ExtendedVersionVector& other) {
   const bool other_newer =
       other.latest_update_time() > latest_update_time();
+  // Walk both writer-sorted spines; writers known only to `other` are
+  // batch-appended and restored to sorted order once at the end.
+  const std::size_t original = stamps_.size();
+  std::size_t i = 0;
   for (const auto& [w, theirs] : other.stamps_) {
-    auto& mine = stamps_[w];
-    if (theirs.size() > mine.size()) {
-      // Prefix compatibility: shared (writer, seq) stamps must agree.
-      for (std::size_t k = 0; k < mine.size(); ++k) {
-        assert(mine[k] == theirs[k] && "divergent stamps for same update");
+    while (i < original && stamps_[i].first < w) ++i;
+    if (i < original && stamps_[i].first == w) {
+      auto& mine = stamps_[i].second;
+      if (theirs.size() > mine.size()) {
+        // Prefix compatibility: shared (writer, seq) stamps must agree.
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          assert(mine[k] == theirs[k] && "divergent stamps for same update");
+        }
+        mine.assign(theirs.begin(), theirs.end());
       }
-      mine.assign(theirs.begin(), theirs.end());
+    } else {
+      stamps_.emplace_back(w, theirs);
     }
+  }
+  if (stamps_.size() > original) {
+    std::inplace_merge(
+        stamps_.begin(), stamps_.begin() + static_cast<std::ptrdiff_t>(original),
+        stamps_.end(), [](const WriterStamps& a, const WriterStamps& b) {
+          return a.first < b.first;
+        });
   }
   if (other_newer) meta_ = other.meta_;
 }

@@ -14,8 +14,8 @@
 /// well defined and computable from the stamp lists alone.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/ids.hpp"
@@ -27,6 +27,12 @@ namespace idea::vv {
 
 class ExtendedVersionVector {
  public:
+  /// One writer's history: its update stamps in sequence order.  The
+  /// per-writer lists live in a flat vector sorted by writer id — EVVs are
+  /// copied into every detect/resolve message, so the spine is one
+  /// contiguous allocation and all cross-EVV walks are linear merges.
+  using WriterStamps = std::pair<NodeId, std::vector<SimTime>>;
+
   ExtendedVersionVector() = default;
 
   /// Record a local or learned update: writer `w`'s next update, stamped
@@ -96,7 +102,12 @@ class ExtendedVersionVector {
                          const ExtendedVersionVector&) = default;
 
  private:
-  std::map<NodeId, std::vector<SimTime>> stamps_;
+  /// Position of `writer`'s entry, or the insertion point keeping stamps_
+  /// sorted.
+  [[nodiscard]] std::size_t lower_bound(NodeId writer) const;
+  [[nodiscard]] const std::vector<SimTime>* stamps_of(NodeId writer) const;
+
+  std::vector<WriterStamps> stamps_;  ///< Sorted by writer id.
   double meta_ = 0.0;
   TactTriple triple_{};
 };

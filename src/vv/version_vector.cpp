@@ -4,27 +4,62 @@
 
 namespace idea::vv {
 
+std::size_t VersionVector::lower_bound(NodeId writer) const {
+  const auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), writer,
+      [](const Entry& e, NodeId w) { return e.first < w; });
+  return static_cast<std::size_t>(it - counts_.begin());
+}
+
 std::uint64_t VersionVector::get(NodeId writer) const {
-  auto it = counts_.find(writer);
-  return it == counts_.end() ? 0 : it->second;
+  const std::size_t i = lower_bound(writer);
+  return i < counts_.size() && counts_[i].first == writer ? counts_[i].second
+                                                          : 0;
 }
 
 std::uint64_t VersionVector::increment(NodeId writer) {
-  return ++counts_[writer];
+  const std::size_t i = lower_bound(writer);
+  if (i < counts_.size() && counts_[i].first == writer) {
+    return ++counts_[i].second;
+  }
+  counts_.insert(counts_.begin() + static_cast<std::ptrdiff_t>(i),
+                 Entry{writer, 1});
+  return 1;
 }
 
 void VersionVector::set(NodeId writer, std::uint64_t count) {
+  const std::size_t i = lower_bound(writer);
+  const bool present = i < counts_.size() && counts_[i].first == writer;
   if (count == 0) {
-    counts_.erase(writer);
+    if (present) {
+      counts_.erase(counts_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  } else if (present) {
+    counts_[i].second = count;
   } else {
-    counts_[writer] = count;
+    counts_.insert(counts_.begin() + static_cast<std::ptrdiff_t>(i),
+                   Entry{writer, count});
   }
 }
 
 void VersionVector::merge(const VersionVector& other) {
-  for (const auto& [w, c] : other.counts_) {
-    auto& mine = counts_[w];
-    mine = std::max(mine, c);
+  // Common case in the protocols: same writer set on both sides — one
+  // linear walk, no allocation.  Writers known only to `other` are batch-
+  // appended and merged back into sorted order once.
+  const std::size_t original = counts_.size();
+  std::size_t i = 0;
+  for (const Entry& theirs : other.counts_) {
+    while (i < original && counts_[i].first < theirs.first) ++i;
+    if (i < original && counts_[i].first == theirs.first) {
+      counts_[i].second = std::max(counts_[i].second, theirs.second);
+    } else {
+      counts_.push_back(theirs);
+    }
+  }
+  if (counts_.size() > original) {
+    std::inplace_merge(counts_.begin(),
+                       counts_.begin() + static_cast<std::ptrdiff_t>(original),
+                       counts_.end());
   }
 }
 

@@ -7,10 +7,17 @@
 /// replica strictly dominated by another can catch up by learning from it;
 /// incomparable vectors mean a true conflict that a resolution policy must
 /// arbitrate (IDEA §4.3, §4.5.1).
+///
+/// Storage is a flat sorted vector (writer sets are small — replica-group
+/// sized — and vectors are copied into every detect/resolve message, so a
+/// contiguous buffer beats a node-per-writer tree): lookups binary-search,
+/// merge and compare are linear two-pointer walks, and copying is one
+/// allocation + memcpy.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/ids.hpp"
 
@@ -26,6 +33,9 @@ enum class Order {
 
 class VersionVector {
  public:
+  /// One (writer, update-count) entry; entries() is sorted by writer.
+  using Entry = std::pair<NodeId, std::uint64_t>;
+
   VersionVector() = default;
 
   /// Number of updates recorded for `writer` (0 if absent).
@@ -56,9 +66,7 @@ class VersionVector {
   /// Number of writers with a nonzero entry.
   [[nodiscard]] std::size_t writer_count() const { return counts_.size(); }
 
-  [[nodiscard]] const std::map<NodeId, std::uint64_t>& entries() const {
-    return counts_;
-  }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return counts_; }
 
   /// "(A:3 B:5)" rendering used in traces, mirroring the paper's notation.
   [[nodiscard]] std::string to_string() const;
@@ -66,7 +74,11 @@ class VersionVector {
   friend bool operator==(const VersionVector&, const VersionVector&) = default;
 
  private:
-  std::map<NodeId, std::uint64_t> counts_;
+  /// Position of `writer`'s entry, or the insertion point keeping counts_
+  /// sorted.
+  [[nodiscard]] std::size_t lower_bound(NodeId writer) const;
+
+  std::vector<Entry> counts_;  ///< Sorted by writer id; counts are nonzero.
 };
 
 }  // namespace idea::vv

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
 #include <vector>
 
 #include "net/sim_transport.hpp"
@@ -16,13 +17,13 @@ struct Recorder final : MessageHandler {
 
 class BatchingFixture : public ::testing::Test {
  protected:
-  Message make(NodeId from, NodeId to, const std::string& type,
+  Message make(NodeId from, NodeId to, std::string_view type,
                std::uint32_t bytes = 100) {
     Message m;
     m.from = from;
     m.to = to;
     m.file = 1;
-    m.type = type;
+    m.type = MsgType::intern(type);
     m.wire_bytes = bytes;
     return m;
   }
@@ -41,7 +42,7 @@ TEST_F(BatchingFixture, SameTickSamePairCoalesces) {
   sim_.run();
 
   ASSERT_EQ(b_.received.size(), 5u);
-  for (const Message& m : b_.received) EXPECT_EQ(m.type, "t.x");
+  for (const Message& m : b_.received) EXPECT_EQ(m.type.name(), "t.x");
   const BatchingStats& stats = batching_.stats();
   EXPECT_EQ(stats.logical_messages, 5u);
   EXPECT_EQ(stats.envelopes, 1u);
@@ -124,7 +125,7 @@ TEST_F(BatchingFixture, DestructionFlushesAndDisarmsTimers) {
   // running the simulator must not touch the dead decorator.
   sim_.run();
   ASSERT_EQ(sink.received.size(), 1u);
-  EXPECT_EQ(sink.received.front().type, "t.x");
+  EXPECT_EQ(sink.received.front().type.name(), "t.x");
   inner_.detach(9);
 }
 

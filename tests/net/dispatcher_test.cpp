@@ -11,21 +11,24 @@ namespace {
 class Recorder : public MessageHandler {
  public:
   void on_message(const Message& msg) override {
-    types.push_back(msg.type);
+    types.push_back(std::string(msg.type.name()));
   }
   std::vector<std::string> types;
 };
+
+Message typed(std::string_view type) {
+  Message m;
+  m.type = MsgType::intern(type);
+  return m;
+}
 
 TEST(Dispatcher, RoutesByPrefix) {
   Dispatcher d;
   Recorder a, b;
   d.route("detect.", &a);
   d.route("resolve.", &b);
-  Message m;
-  m.type = "detect.probe";
-  d.on_message(m);
-  m.type = "resolve.attn";
-  d.on_message(m);
+  d.on_message(typed("detect.probe"));
+  d.on_message(typed("resolve.attn"));
   EXPECT_EQ(a.types, (std::vector<std::string>{"detect.probe"}));
   EXPECT_EQ(b.types, (std::vector<std::string>{"resolve.attn"}));
 }
@@ -35,11 +38,8 @@ TEST(Dispatcher, LongestPrefixWins) {
   Recorder general, specific;
   d.route("a.", &general);
   d.route("a.b.", &specific);
-  Message m;
-  m.type = "a.b.c";
-  d.on_message(m);
-  m.type = "a.x";
-  d.on_message(m);
+  d.on_message(typed("a.b.c"));
+  d.on_message(typed("a.x"));
   EXPECT_EQ(specific.types, (std::vector<std::string>{"a.b.c"}));
   EXPECT_EQ(general.types, (std::vector<std::string>{"a.x"}));
 }
@@ -48,9 +48,7 @@ TEST(Dispatcher, UnmatchedDropped) {
   Dispatcher d;
   Recorder a;
   d.route("x.", &a);
-  Message m;
-  m.type = "y.z";
-  d.on_message(m);  // must not crash
+  d.on_message(typed("y.z"));  // must not crash
   EXPECT_TRUE(a.types.empty());
 }
 
@@ -59,10 +57,23 @@ TEST(Dispatcher, Unroute) {
   Recorder a;
   d.route("x.", &a);
   d.unroute("x.");
-  Message m;
-  m.type = "x.y";
-  d.on_message(m);
+  d.on_message(typed("x.y"));
   EXPECT_TRUE(a.types.empty());
+}
+
+TEST(Dispatcher, MemoFollowsRouteChanges) {
+  // The per-type memo must not pin a stale handler across route updates.
+  Dispatcher d;
+  Recorder first, second;
+  d.route("m.", &first);
+  d.on_message(typed("m.k"));  // memoize m.k -> first
+  d.route("m.k", &second);     // longer prefix added after the memo
+  d.on_message(typed("m.k"));
+  EXPECT_EQ(first.types, (std::vector<std::string>{"m.k"}));
+  EXPECT_EQ(second.types, (std::vector<std::string>{"m.k"}));
+  d.unroute("m.k");
+  d.on_message(typed("m.k"));
+  EXPECT_EQ(first.types, (std::vector<std::string>{"m.k", "m.k"}));
 }
 
 }  // namespace

@@ -27,14 +27,14 @@ TEST_F(SimTransportTest, DeliversAfterLatency) {
   Message m;
   m.from = 0;
   m.to = 1;
-  m.type = "test";
+  m.type = MsgType::intern("test");
   m.payload = std::string("hi");
   t.send(std::move(m));
   EXPECT_TRUE(c.received.empty());
   sim_.run();
   ASSERT_EQ(c.received.size(), 1u);
   EXPECT_EQ(sim_.now(), msec(10));
-  EXPECT_EQ(std::any_cast<std::string>(c.received[0].payload), "hi");
+  EXPECT_EQ(c.received[0].payload.as<std::string>(), "hi");
   EXPECT_EQ(c.received[0].sent_at, 0);
 }
 
@@ -46,7 +46,7 @@ TEST_F(SimTransportTest, CountsAllSends) {
     Message m;
     m.from = 0;
     m.to = 1;
-    m.type = "x";
+    m.type = MsgType::intern("x");
     m.wire_bytes = 100;
     t.send(std::move(m));
   }
@@ -61,7 +61,7 @@ TEST_F(SimTransportTest, DetachDropsDelivery) {
   Message m;
   m.from = 0;
   m.to = 1;
-  m.type = "x";
+  m.type = MsgType::intern("x");
   t.send(std::move(m));
   t.detach(1);
   sim_.run();
@@ -73,7 +73,7 @@ TEST_F(SimTransportTest, UnknownDestinationIgnored) {
   Message m;
   m.from = 0;
   m.to = 99;
-  m.type = "x";
+  m.type = MsgType::intern("x");
   t.send(std::move(m));
   sim_.run();  // no crash
   EXPECT_EQ(t.counters().total_messages(), 1u);
@@ -90,7 +90,7 @@ TEST_F(SimTransportTest, LossDropsApproximately) {
     Message m;
     m.from = 0;
     m.to = 1;
-    m.type = "x";
+    m.type = MsgType::intern("x");
     t.send(std::move(m));
   }
   sim_.run();

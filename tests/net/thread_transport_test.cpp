@@ -30,7 +30,7 @@ TEST(ThreadTransport, DeliversMessages) {
     Message m;
     m.from = 0;
     m.to = 1;
-    m.type = "x";
+    m.type = MsgType::intern("x");
     t.send(std::move(m));
   }
   EXPECT_TRUE(t.wait_idle(sec(60)));
@@ -84,7 +84,7 @@ TEST(ThreadTransport, SendFromMultipleThreads) {
         Message m;
         m.from = 0;
         m.to = 1;
-        m.type = "x";
+        m.type = MsgType::intern("x");
         t.send(std::move(m));
       }
     });
@@ -102,7 +102,7 @@ TEST(ThreadTransport, DetachStopsDelivery) {
   Message m;
   m.from = 0;
   m.to = 1;
-  m.type = "x";
+  m.type = MsgType::intern("x");
   t.send(std::move(m));
   t.detach(1);
   EXPECT_TRUE(t.wait_idle(sec(60)));
@@ -116,7 +116,7 @@ TEST(ThreadTransport, CleanShutdownWithPendingWork) {
   Message m;
   m.from = 0;
   m.to = 1;
-  m.type = "x";
+  m.type = MsgType::intern("x");
   t->send(std::move(m));
   t.reset();  // must not hang or crash with items still queued
   SUCCEED();

@@ -41,7 +41,7 @@ class GossipFixture : public ::testing::Test {
 TEST_F(GossipFixture, OriginDeliversToItself) {
   GossipParams p;
   Build(10, p);
-  agents_[3]->broadcast(1, "t", std::string("x"), 8);
+  agents_[3]->broadcast(1, net::MsgType::intern("t"), std::string("x"), 8);
   EXPECT_EQ(deliveries_[3], 1);
 }
 
@@ -50,7 +50,7 @@ TEST_F(GossipFixture, HighTtlReachesAlmostEveryone) {
   p.fanout = 3;
   p.ttl = 8;
   Build(30, p);
-  agents_[0]->broadcast(1, "t", std::string("x"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("x"), 8);
   sim_.run();
   EXPECT_GE(reached(), 28u);
 }
@@ -59,7 +59,7 @@ TEST_F(GossipFixture, TtlZeroStaysLocal) {
   GossipParams p;
   p.ttl = 0;
   Build(10, p);
-  agents_[0]->broadcast(1, "t", std::string("x"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("x"), 8);
   sim_.run();
   EXPECT_EQ(reached(), 1u);  // only the origin
 }
@@ -69,7 +69,7 @@ TEST_F(GossipFixture, TtlBoundsSpread) {
   p.fanout = 2;
   p.ttl = 1;
   Build(40, p);
-  agents_[0]->broadcast(1, "t", std::string("x"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("x"), 8);
   sim_.run();
   // ttl=1: origin + its fanout + their fanout (sent while ttl 1 -> 0... )
   // Spread is strictly limited well below the full network.
@@ -82,7 +82,7 @@ TEST_F(GossipFixture, DedupSingleDeliveryPerNode) {
   p.fanout = 5;
   p.ttl = 10;
   Build(10, p);
-  agents_[0]->broadcast(1, "t", std::string("x"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("x"), 8);
   sim_.run();
   for (NodeId n = 0; n < 10; ++n) {
     EXPECT_LE(deliveries_[n], 1) << "node " << n;
@@ -94,8 +94,8 @@ TEST_F(GossipFixture, DistinctRumorsDistinctDeliveries) {
   p.fanout = 3;
   p.ttl = 6;
   Build(10, p);
-  agents_[0]->broadcast(1, "t", std::string("a"), 8);
-  agents_[0]->broadcast(1, "t", std::string("b"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("a"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("b"), 8);
   sim_.run();
   EXPECT_EQ(deliveries_[0], 2);
 }
@@ -105,7 +105,7 @@ TEST_F(GossipFixture, TwoNodeNetwork) {
   p.fanout = 3;
   p.ttl = 2;
   Build(2, p);
-  agents_[0]->broadcast(1, "t", std::string("x"), 8);
+  agents_[0]->broadcast(1, net::MsgType::intern("t"), std::string("x"), 8);
   sim_.run();
   EXPECT_EQ(reached(), 2u);
 }
@@ -120,13 +120,13 @@ TEST_F(GossipFixture, EnvelopeCarriesPayload) {
     agents_.push_back(std::make_unique<GossipAgent>(
         n, *transport_, p,
         [&got, &origin_seen](const GossipEnvelope& env) {
-          got = std::any_cast<std::string>(env.inner);
+          got = env.inner.as<std::string>();
           origin_seen = env.origin;
         },
         3000 + n));
     transport_->attach(n, agents_.back().get());
   }
-  agents_[1]->broadcast(7, "payload.test", std::string("hello"), 5);
+  agents_[1]->broadcast(7, net::MsgType::intern("payload.test"), std::string("hello"), 5);
   sim_.run();
   EXPECT_EQ(got, "hello");
   EXPECT_EQ(origin_seen, 1u);

@@ -1,0 +1,125 @@
+/// \file determinism_test.cpp
+/// \brief Fixed-seed replay regression: the hot-path representation
+///        (interned message types, shared payloads, pooled simulator
+///        events, flat version vectors) must not change protocol behavior.
+///
+/// The expectations below were captured from the PRE-refactor
+/// implementation (PR 1 seed: std::string message types, std::any payloads,
+/// unordered_set lazy deletion in the simulator, std::map version vectors)
+/// by running exactly this configuration and recording per-type message
+/// counts, applied writes, convergence and the order-sensitive content
+/// digest of every coordinator replica.  Any divergence — one extra
+/// message, one reordered event, one different resolution outcome — fails
+/// the test.  If a future PR changes protocol behavior *on purpose*, it
+/// must re-capture these goldens and say so.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/kvstore.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::shard {
+namespace {
+
+struct ReplayResult {
+  std::uint64_t puts = 0;
+  std::size_t converged = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t logical_messages = 0;
+  std::uint64_t wire_messages = 0;
+  std::map<std::string, std::uint64_t> per_type;
+};
+
+ReplayResult replay(std::uint64_t seed) {
+  constexpr std::uint32_t kFiles = 120;
+  ShardedClusterConfig cfg;
+  cfg.endpoints = 8;
+  cfg.replication = 3;
+  cfg.batching = true;
+  cfg.seed = seed;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
+  cfg.idea.controller.mode = core::AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.85;
+  cfg.idea.detection_period = sec(2);
+  ShardedCluster cluster(cfg);
+  cluster.place(1, kFiles);
+
+  apps::KvStore kv(cluster,
+                   apps::KvStoreOptions{.buckets = kFiles, .first_file = 1});
+  apps::KvWorkloadParams wl;
+  wl.clients = 16;
+  wl.interval = msec(250);
+  wl.duration = sec(6);
+  wl.keyspace = 480;
+  wl.zipf_s = 0.9;
+  apps::KvWorkload workload(kv, cluster.sim(), wl, seed ^ 0xBEEF);
+  workload.start();
+  cluster.run_for(sec(6) + sec(10));
+
+  ReplayResult r;
+  r.puts = kv.puts();
+  for (FileId f = 1; f <= kFiles; ++f) {
+    if (cluster.converged(f)) ++r.converged;
+    core::IdeaNode* coord = cluster.replica_at_rank(f, 0);
+    if (coord != nullptr) {
+      r.digest ^= coord->store().content_digest() * (f * 2654435761ull);
+    }
+  }
+  r.logical_messages = cluster.batching()->stats().logical_messages;
+  r.wire_messages = cluster.wire_counters().total_messages();
+  r.per_type = cluster.batching()->counters().by_type();
+  return r;
+}
+
+using Golden = std::map<std::string, std::uint64_t>;
+
+TEST(ShardedClusterDeterminism, Seed2007MatchesPreRefactorRun) {
+  const ReplayResult r = replay(2007);
+  EXPECT_EQ(r.puts, 387u);
+  EXPECT_EQ(r.converged, 120u);
+  EXPECT_EQ(r.digest, 0xd4cf90538821fb05ull);
+  EXPECT_EQ(r.logical_messages, 10966u);
+  EXPECT_EQ(r.wire_messages, 2355u);
+  const Golden expected{
+      {"detect.probe", 3200},     {"detect.reply", 2672},
+      {"gossip.push", 2160},      {"ransub.collect", 720},
+      {"ransub.distribute", 720}, {"ransub.epoch", 720},
+      {"shard.replicate", 774},
+  };
+  EXPECT_EQ(r.per_type, expected);
+}
+
+TEST(ShardedClusterDeterminism, Seed555MatchesPreRefactorRun) {
+  const ReplayResult r = replay(555);
+  EXPECT_EQ(r.puts, 390u);
+  EXPECT_EQ(r.converged, 120u);
+  EXPECT_EQ(r.digest, 0xb8bd153ba9842aa6ull);
+  EXPECT_EQ(r.logical_messages, 11140u);
+  EXPECT_EQ(r.wire_messages, 2348u);
+  const Golden expected{
+      {"detect.probe", 3296},     {"detect.reply", 2744},
+      {"gossip.push", 2160},      {"ransub.collect", 720},
+      {"ransub.distribute", 720}, {"ransub.epoch", 720},
+      {"shard.replicate", 780},
+  };
+  EXPECT_EQ(r.per_type, expected);
+}
+
+TEST(ShardedClusterDeterminism, ReplayIsInternallyReproducible) {
+  // Same seed, same process: two replays must agree with themselves (guards
+  // against nondeterminism that global interning state could introduce).
+  const ReplayResult a = replay(99);
+  const ReplayResult b = replay(99);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.logical_messages, b.logical_messages);
+  EXPECT_EQ(a.per_type, b.per_type);
+}
+
+}  // namespace
+}  // namespace idea::shard
