@@ -35,6 +35,11 @@ struct Message {
   Payload payload;          ///< Shared immutable body; receiver casts by type.
   std::uint32_t wire_bytes = 64;  ///< Estimated on-the-wire size.
   SimTime sent_at = 0;      ///< Stamped by the transport on send.
+  /// Group-epoch fence (shard layer): a migrated file's replica group is
+  /// rebuilt under a new epoch, and messages from the old epoch must not
+  /// leak into the new stacks with remapped sender ranks.  0 for every
+  /// deployment that never changes membership.
+  std::uint32_t epoch = 0;
 };
 
 /// Per-type and total message/byte counters.

@@ -16,6 +16,7 @@ SimTransport::SimTransport(sim::Simulator& sim, sim::LatencyModel& latency,
                            options_.max_clock_skew);
     }
   }
+  skew_assigned_ = skew_.size();
 }
 
 void SimTransport::attach(NodeId node, MessageHandler* handler) {
@@ -37,6 +38,14 @@ void SimTransport::send(Message msg) {
     return;
   }
   const SimDuration delay = latency_.sample(msg.from, msg.to, rng_);
+  // Scripted faults drop only after the loss and latency draws, so a
+  // faulted run consumes the exact RNG stream of a clean run: every
+  // message that survives the fault sees the same loss decision and
+  // delay it would have seen without the fault script.
+  if (fault_drops(msg)) {
+    ++fault_dropped_;
+    return;
+  }
   // Park the message in the slab; the delivery closure captures only the
   // slot index, so it fits std::function's inline storage.
   std::uint32_t slot;
@@ -81,6 +90,56 @@ void SimTransport::cancel_call(std::uint64_t handle) { sim_.cancel(handle); }
 
 SimDuration SimTransport::skew_of(NodeId node) const {
   return node < skew_.size() ? skew_[node] : 0;
+}
+
+bool SimTransport::fault_drops(const Message& msg) const {
+  if (!partitions_.empty() &&
+      partitions_.count(pair_key(msg.from, msg.to)) > 0) {
+    return true;
+  }
+  if (!drop_windows_.empty()) {
+    const SimTime now = sim_.now();
+    for (const auto& [from, until] : drop_windows_) {
+      if (now >= from && now < until) return true;
+    }
+  }
+  return false;
+}
+
+void SimTransport::add_drop_window(SimTime from, SimTime until) {
+  if (until <= from) return;
+  drop_windows_.emplace_back(from, until);
+}
+
+void SimTransport::clear_drop_windows() { drop_windows_.clear(); }
+
+void SimTransport::partition(NodeId a, NodeId b) {
+  if (a != b) partitions_.insert(pair_key(a, b));
+}
+
+void SimTransport::heal(NodeId a, NodeId b) {
+  partitions_.erase(pair_key(a, b));
+}
+
+void SimTransport::heal_all_partitions() { partitions_.clear(); }
+
+void SimTransport::ensure_node(NodeId node) {
+  if (node >= handlers_.size()) handlers_.resize(node + 1, nullptr);
+  if (node >= skew_.size()) skew_.resize(node + 1, 0);
+  if (options_.max_clock_skew > 0) {
+    // Joiners get a per-node skew derived from the seed instead of the
+    // shared jitter stream: sampling rng_ here would shift every later
+    // latency draw and break replay comparisons against a run without
+    // the join.  Track assignment by high-water mark, not vector size —
+    // attach() also grows the vectors (zero-filled) and must not make a
+    // later ensure_node() skip the joiner's skew.
+    for (std::size_t n = skew_assigned_; n <= node; ++n) {
+      Rng node_rng(mix64(options_.seed ^ (0x5E1F5CEDULL + n)));
+      skew_[n] = node_rng.uniform_int(-options_.max_clock_skew,
+                                      options_.max_clock_skew);
+    }
+  }
+  skew_assigned_ = std::max<std::size_t>(skew_assigned_, node + 1);
 }
 
 }  // namespace idea::net

@@ -12,8 +12,19 @@
 /// delivery closure captures only {transport, slot index} — small enough
 /// for std::function's inline buffer, so a send allocates nothing beyond
 /// the slab's amortized growth.
+///
+/// Fault injection: beyond the uniform `loss_rate`, tests can script
+/// deterministic failures — drop windows (every send inside [from, until)
+/// is lost) and pairwise partitions (both directions between two endpoints
+/// are cut until healed).  Scripted faults drop a message only after the
+/// loss and latency draws, so enabling them never perturbs the RNG stream:
+/// every message a faulted run still delivers sees the identical loss
+/// decision and delay of the clean run with the same seed — faulted and
+/// clean runs stay replay-comparable.
 
 #include <cstdint>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -53,7 +64,51 @@ class SimTransport final : public Transport {
   /// The skew assigned to a node (diagnostic).
   [[nodiscard]] SimDuration skew_of(NodeId node) const;
 
+  // ------------------------------------------------------------------
+  // Fault injection (scripted, deterministic)
+  // ------------------------------------------------------------------
+
+  /// Drop every message hitting this wire in [from, until).  Windows may
+  /// overlap; a message already in flight when the window opens still
+  /// delivers.  Note the wire-time semantics: under a BatchingTransport
+  /// with a nonzero flush window, what matters is the envelope's flush
+  /// instant, not the logical send — exactly as a real outage would
+  /// swallow whatever the batching layer put on the wire while it lasted.
+  void add_drop_window(SimTime from, SimTime until);
+
+  /// Forget all scripted drop windows (past windows keep their effect).
+  void clear_drop_windows();
+
+  /// Cut both directions between `a` and `b` until heal()/heal_all().
+  void partition(NodeId a, NodeId b);
+
+  /// Restore the pair; unknown pairs are a no-op.
+  void heal(NodeId a, NodeId b);
+
+  void heal_all_partitions();
+
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const {
+    return partitions_.count(pair_key(a, b)) > 0;
+  }
+
+  /// Messages dropped by scripted faults (not counted in dropped()).
+  [[nodiscard]] std::uint64_t fault_dropped() const { return fault_dropped_; }
+
+  /// Grow per-node state (handler slot, skew) to cover `node`.  Joining
+  /// endpoints get a deterministic per-node skew derived from the seed, so
+  /// a grown transport behaves identically across replays without touching
+  /// the construction-time skew stream of existing nodes.
+  void ensure_node(NodeId node);
+
  private:
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  [[nodiscard]] bool fault_drops(const Message& msg) const;
+
   void deliver_slot(std::uint32_t slot);
 
   sim::Simulator& sim_;
@@ -62,9 +117,19 @@ class SimTransport final : public Transport {
   Rng rng_;
   std::vector<MessageHandler*> handlers_;  ///< Indexed by node id.
   std::vector<SimDuration> skew_;
+  /// Nodes [0, skew_assigned_) have their skew decided (construction
+  /// stream or joiner derivation); attach() may grow skew_ beyond this
+  /// with zero-filled slots that a later ensure_node() still owns.
+  std::size_t skew_assigned_ = 0;
   std::vector<Message> in_flight_;         ///< Slab of scheduled messages.
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t dropped_ = 0;
+
+  // Scripted fault state.  Few windows/pairs in practice, so a linear walk
+  // over windows and a small hash set of pair keys is plenty.
+  std::vector<std::pair<SimTime, SimTime>> drop_windows_;  ///< [from, until)
+  std::unordered_set<std::uint64_t> partitions_;
+  std::uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace idea::net

@@ -109,8 +109,8 @@ void ThreadTransport::dispatcher(std::stop_token st) {
     }
     Pending p = queue_.top();
     queue_.pop();
-    --in_flight_;
     if (cancelled_.erase(p.handle) > 0) {
+      --in_flight_;
       cv_.notify_all();
       continue;
     }
@@ -122,6 +122,10 @@ void ThreadTransport::dispatcher(std::stop_token st) {
     lock.unlock();
     p.fn();  // run protocol code without holding the lock
     lock.lock();
+    // Count the entry as in flight until its callback finished: wait_idle
+    // returning while a handler still runs (and is about to enqueue
+    // follow-up sends) would hand the caller a half-settled timeline.
+    --in_flight_;
     cv_.notify_all();
   }
 }

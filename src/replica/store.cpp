@@ -77,6 +77,21 @@ std::vector<Update> ReplicaStore::updates_ahead_of(
   return out;
 }
 
+std::vector<Update> ReplicaStore::export_log() const {
+  std::vector<Update> out;
+  out.reserve(log_.size());
+  for (const auto& [key, u] : log_) out.push_back(u);
+  return out;
+}
+
+std::size_t ReplicaStore::import_log(const std::vector<Update>& updates) {
+  const std::size_t before = log_.size();
+  for (const Update& u : updates) apply_remote(u);
+  // An exported log is per-writer complete, so nothing can be left parked
+  // in the reorder buffer on account of this batch alone.
+  return log_.size() - before;
+}
+
 bool ReplicaStore::invalidate(const UpdateKey& key) {
   auto it = log_.find(key);
   if (it == log_.end()) return false;

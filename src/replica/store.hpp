@@ -52,6 +52,19 @@ class ReplicaStore {
   [[nodiscard]] std::vector<Update> updates_ahead_of(
       const vv::VersionVector& peer_counts) const;
 
+  /// The full applied log as a flat batch, in (writer, seq) order — the
+  /// state a migration streams to a file's new replica group.  Carries
+  /// invalidation flags, so the importer reproduces the meta value too.
+  [[nodiscard]] std::vector<Update> export_log() const;
+
+  /// Ingest a state batch (typically another replica's export_log()).
+  /// Every update goes through apply_remote, so the import is idempotent,
+  /// tolerates overlap with updates already held, and adjusts local_seq
+  /// when the batch contains this node's own writer history (a migrated
+  /// coordinator continues its predecessor's sequence).  Returns how many
+  /// updates were newly applied.
+  std::size_t import_log(const std::vector<Update>& updates);
+
   /// Mark an update invalidated (invalidate-both policy) and recompute the
   /// meta value.  Returns false if the update is unknown.
   bool invalidate(const UpdateKey& key);

@@ -4,8 +4,11 @@ namespace idea::shard {
 
 GroupTransport::GroupTransport(net::Transport& inner,
                                std::vector<NodeId> members,
-                               std::uint32_t self_rank)
-    : inner_(inner), members_(std::move(members)), self_rank_(self_rank) {}
+                               std::uint32_t self_rank, std::uint32_t epoch)
+    : inner_(inner),
+      members_(std::move(members)),
+      self_rank_(self_rank),
+      epoch_(epoch) {}
 
 NodeId GroupTransport::rank_of(NodeId endpoint) const {
   for (std::size_t r = 0; r < members_.size(); ++r) {
@@ -21,6 +24,7 @@ void GroupTransport::send(net::Message msg) {
   counters_.record(msg.type, msg.wire_bytes);
   msg.from = members_[msg.from];
   msg.to = members_[msg.to];
+  msg.epoch = epoch_;
   inner_.send(std::move(msg));
 }
 
@@ -31,6 +35,11 @@ SimTime GroupTransport::local_time(NodeId rank) const {
 
 void GroupTransport::on_message(const net::Message& msg) {
   if (sink_ == nullptr) return;
+  // Epoch fence: a message sent before a migration rebuilt this group
+  // must not be demultiplexed into the new stacks — the sender's rank
+  // mapping (and possibly the whole protocol state it speaks for) belongs
+  // to the previous incarnation.
+  if (msg.epoch != epoch_) return;
   const NodeId from_rank = rank_of(msg.from);
   if (from_rank == kNoNode) return;  // sender is not a group member
   net::Message translated = msg;

@@ -26,9 +26,13 @@ class GroupTransport final : public net::Transport,
   /// `inner` is the endpoint-id-space transport (borrowed; must outlive
   /// this adapter *and* the IdeaNode using it, which cancels its timers
   /// through here on destruction).  `members` maps rank -> endpoint id and
-  /// must be identical on every member, in the same order.
+  /// must be identical on every member, in the same order.  `epoch` fences
+  /// group incarnations: outbound messages are stamped with it and inbound
+  /// messages from another epoch are dropped, so traffic still in flight
+  /// when a migration rebuilds the group cannot reach the new stacks under
+  /// remapped ranks.  All members of one incarnation must share the epoch.
   GroupTransport(net::Transport& inner, std::vector<NodeId> members,
-                 std::uint32_t self_rank);
+                 std::uint32_t self_rank, std::uint32_t epoch = 0);
 
   /// Where translated inbound messages go (the IdeaNode's dispatcher).
   /// Set after the node is constructed; messages arriving earlier drop.
@@ -38,6 +42,7 @@ class GroupTransport final : public net::Transport,
     return members_;
   }
   [[nodiscard]] std::uint32_t self_rank() const { return self_rank_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
 
   /// Rank of a real endpoint id within the group; kNoNode if absent.
   [[nodiscard]] NodeId rank_of(NodeId endpoint) const;
@@ -67,6 +72,7 @@ class GroupTransport final : public net::Transport,
   net::Transport& inner_;
   std::vector<NodeId> members_;  ///< rank -> endpoint id
   std::uint32_t self_rank_;
+  std::uint32_t epoch_;
   net::MessageHandler* sink_ = nullptr;
 };
 

@@ -1,11 +1,28 @@
 #include "shard/replica_sync.hpp"
 
+#include <memory>
 #include <utility>
 
 namespace idea::shard {
 
 const net::MsgType ReplicaSyncAgent::kReplicateType =
     net::MsgType::intern("shard.replicate");
+const net::MsgType ReplicaSyncAgent::kDigestType =
+    net::MsgType::intern("shard.digest");
+const net::MsgType ReplicaSyncAgent::kRepairType =
+    net::MsgType::intern("shard.repair");
+const net::MsgType ReplicaSyncAgent::kMigrateType =
+    net::MsgType::intern("shard.migrate");
+
+namespace {
+
+std::uint32_t batch_wire_bytes(const std::vector<replica::Update>& updates) {
+  std::uint32_t bytes = 24;  // header + count
+  for (const replica::Update& u : updates) bytes += u.wire_bytes();
+  return bytes;
+}
+
+}  // namespace
 
 ReplicaSyncAgent::ReplicaSyncAgent(core::IdeaNode& node,
                                    net::Transport& transport,
@@ -14,7 +31,10 @@ ReplicaSyncAgent::ReplicaSyncAgent(core::IdeaNode& node,
   node_.dispatcher().route("shard.", this);
 }
 
-ReplicaSyncAgent::~ReplicaSyncAgent() { node_.dispatcher().unroute("shard."); }
+ReplicaSyncAgent::~ReplicaSyncAgent() {
+  stop_anti_entropy();
+  node_.dispatcher().unroute("shard.");
+}
 
 bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
   if (!node_.write(std::move(content), meta_delta)) {
@@ -46,21 +66,151 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
   return true;
 }
 
-void ReplicaSyncAgent::on_message(const net::Message& msg) {
-  if (msg.type != kReplicateType) return;
-  const auto& updates = msg.payload.as<std::vector<replica::Update>>();
-  bool any_applied = false;
+void ReplicaSyncAgent::start_anti_entropy(SimDuration period) {
+  stop_anti_entropy();
+  if (period <= 0 || group_size_ < 2) return;
+  anti_entropy_timer_ =
+      transport_.call_every(period, [this] { anti_entropy_round(); });
+}
+
+void ReplicaSyncAgent::stop_anti_entropy() {
+  if (anti_entropy_timer_ != 0) {
+    transport_.cancel_call(anti_entropy_timer_);
+    anti_entropy_timer_ = 0;
+  }
+}
+
+void ReplicaSyncAgent::anti_entropy_round() {
+  if (group_size_ < 2) return;
+  ++stats_.ae_rounds;
+  // Deterministic rotation: consecutive rounds visit every other rank
+  // before repeating, so a pairwise exchange happens within k-1 periods.
+  const std::uint32_t offset = 1 + (ae_rotation_++ % (group_size_ - 1));
+  const auto peer =
+      static_cast<NodeId>((node_.id() + offset) % group_size_);
+
+  net::Message msg;
+  msg.from = node_.id();
+  msg.to = peer;
+  msg.file = node_.file();
+  msg.type = kDigestType;
+  // The digest is the store's shared EVV snapshot: zero-copy, and always
+  // current because every store mutation invalidates the snapshot.
+  msg.payload = net::Payload::wrap(node_.store().evv_snapshot());
+  msg.wire_bytes = 16 + node_.store().evv().wire_bytes();
+  transport_.send(std::move(msg));
+}
+
+std::size_t ReplicaSyncAgent::stream_state(
+    const std::vector<replica::Update>& updates) {
+  if (group_size_ < 2) return 0;
+  const net::Payload payload = updates;  // one allocation, shared below
+  const std::uint32_t bytes = batch_wire_bytes(updates);
+  std::size_t sent = 0;
+  for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
+    if (rank == node_.id()) continue;
+    net::Message msg;
+    msg.from = node_.id();
+    msg.to = rank;
+    msg.file = node_.file();
+    msg.type = kMigrateType;
+    msg.payload = payload;
+    msg.wire_bytes = bytes;
+    transport_.send(std::move(msg));
+    ++sent;
+  }
+  return sent;
+}
+
+std::size_t ReplicaSyncAgent::apply_batch(
+    const std::vector<replica::Update>& updates,
+    std::uint64_t& applied_stat) {
+  std::size_t applied = 0;
   for (const replica::Update& u : updates) {
-    if (node_.store().has(u.key)) {
-      ++stats_.redundant;
+    const replica::Update* held = node_.store().find(u.key);
+    if (held != nullptr) {
+      // Counts cover the update, but its invalidation flag may be news
+      // (the sender saw a resolution outcome this replica missed).
+      if (u.invalidated && !held->invalidated) {
+        node_.store().invalidate(u.key);
+        ++stats_.invalidations_healed;
+      } else {
+        ++stats_.redundant;
+      }
       continue;
     }
     if (node_.store().apply_remote(u)) {
-      ++stats_.applied;
-      any_applied = true;
+      ++applied_stat;
+      ++applied;
     }
   }
-  if (any_applied) node_.note_replica_activity();
+  if (applied > 0) node_.note_replica_activity();
+  return applied;
+}
+
+void ReplicaSyncAgent::send_repair(NodeId to_rank,
+                                   std::vector<replica::Update> updates,
+                                   bool respond) {
+  RepairPayload body;
+  body.sender_counts = node_.store().evv().counts();
+  body.invalidated = node_.store().invalidated_keys();
+  body.respond = respond;
+  body.updates = std::move(updates);
+
+  net::Message msg;
+  msg.from = node_.id();
+  msg.to = to_rank;
+  msg.file = node_.file();
+  msg.type = kRepairType;
+  msg.wire_bytes =
+      batch_wire_bytes(body.updates) +
+      static_cast<std::uint32_t>(12 * body.sender_counts.writer_count()) +
+      static_cast<std::uint32_t>(12 * body.invalidated.size());
+  stats_.repair_updates_sent += body.updates.size();
+  msg.payload = std::move(body);
+  transport_.send(std::move(msg));
+  ++stats_.repairs_sent;
+}
+
+void ReplicaSyncAgent::on_message(const net::Message& msg) {
+  if (msg.type == kReplicateType) {
+    apply_batch(msg.payload.as<std::vector<replica::Update>>(),
+                stats_.applied);
+    return;
+  }
+  if (msg.type == kDigestType) {
+    ++stats_.digests_received;
+    const auto& peer_evv = msg.payload.as<vv::ExtendedVersionVector>();
+    // Always reply, even with nothing to offer: the initiator needs our
+    // counts to push back the other half of the delta.
+    send_repair(msg.from,
+                node_.store().updates_ahead_of(peer_evv.counts()),
+                /*respond=*/true);
+    return;
+  }
+  if (msg.type == kRepairType) {
+    const auto& body = msg.payload.as<RepairPayload>();
+    apply_batch(body.updates, stats_.repair_updates_applied);
+    for (const replica::UpdateKey& key : body.invalidated) {
+      const replica::Update* held = node_.store().find(key);
+      if (held != nullptr && !held->invalidated) {
+        node_.store().invalidate(key);
+        ++stats_.invalidations_healed;
+      }
+    }
+    if (body.respond) {
+      std::vector<replica::Update> back =
+          node_.store().updates_ahead_of(body.sender_counts);
+      if (!back.empty()) {
+        send_repair(msg.from, std::move(back), /*respond=*/false);
+      }
+    }
+    return;
+  }
+  if (msg.type == kMigrateType) {
+    apply_batch(msg.payload.as<std::vector<replica::Update>>(),
+                stats_.migrate_updates_applied);
+  }
 }
 
 }  // namespace idea::shard

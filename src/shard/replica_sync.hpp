@@ -1,23 +1,40 @@
 #pragma once
 /// \file replica_sync.hpp
-/// \brief Pushes application writes to the rest of a file's replica group.
+/// \brief Pushes application writes to the rest of a file's replica group,
+///        heals cold replicas with periodic anti-entropy, and streams whole
+///        replica states during membership migration.
 ///
 /// IDEA's own machinery ships update contents only inside resolution
 /// rounds among top-layer writers; a replica group needs every durable
 /// copy to hold the data even when a single coordinator does all the
-/// writing.  ReplicaSyncAgent closes that gap: the coordinator's put()
-/// applies the write locally, then pushes the new update to every other
-/// rank as a "shard.replicate" message.  Receivers apply it idempotently
-/// (ReplicaStore::apply_remote buffers out-of-order arrivals) and record
-/// hosting activity so the whole group stays in the file's top layer —
-/// from there, the stock detection/resolution protocols keep concurrently
-/// written replicas convergent.
+/// writing.  ReplicaSyncAgent closes that gap three ways:
+///
+///  * Push ("shard.replicate"): the coordinator's put() applies the write
+///    locally, then pushes the new update to every other rank.  Receivers
+///    apply it idempotently (ReplicaStore::apply_remote buffers
+///    out-of-order arrivals) and record hosting activity so the whole
+///    group stays in the file's top layer.
+///
+///  * Anti-entropy ("shard.digest" / "shard.repair"): a push lost to the
+///    network would leave a replica cold forever, so each agent may run a
+///    periodic push-pull round: it sends its EVV digest (the shared
+///    ReplicaStore::evv_snapshot() allocation — no copy) to one rotating
+///    peer; the peer replies with the updates the digest shows missing
+///    (ReplicaStore::updates_ahead_of) plus its own counts, and the
+///    initiator pushes back whatever the peer lacks in turn.  Any single
+///    surviving copy of an update therefore spreads to the whole group in
+///    O(group size) rounds, whatever the loss pattern was.
+///
+///  * State streaming ("shard.migrate"): when membership changes move a
+///    file to a new replica group, the new coordinator adopts the merged
+///    log and streams it to the other ranks as one batch message each.
 
 #include <string>
 #include <vector>
 
 #include "core/idea_node.hpp"
 #include "net/transport.hpp"
+#include "vv/version_vector.hpp"
 
 namespace idea::shard {
 
@@ -27,6 +44,33 @@ struct ReplicaSyncStats {
   std::uint64_t pushed = 0;          ///< Updates sent to peers.
   std::uint64_t applied = 0;         ///< Remote updates applied here.
   std::uint64_t redundant = 0;       ///< Remote updates we already held.
+  // Anti-entropy.
+  std::uint64_t ae_rounds = 0;        ///< Digest rounds initiated here.
+  std::uint64_t digests_received = 0;
+  std::uint64_t repairs_sent = 0;     ///< Repair messages sent.
+  std::uint64_t repair_updates_sent = 0;
+  std::uint64_t repair_updates_applied = 0;
+  std::uint64_t invalidations_healed = 0;  ///< Flags OR'd in via repair.
+  // Migration streaming.
+  std::uint64_t migrate_updates_applied = 0;
+};
+
+/// Body of a "shard.repair" message: the updates the digest sender was
+/// missing, plus the replier's own counts so the initiator can push back
+/// the other half of the delta (`respond` asks for exactly one such reply,
+/// keeping a round at three messages, not a ping-pong).
+///
+/// `invalidated` carries the replier's full invalidated-key set: version
+/// counts cannot express invalidation (the update stays in the log), so a
+/// replica that missed a resolution's invalidate message would otherwise
+/// diverge forever — no digest would ever re-send an update its counts
+/// already cover.  Receivers OR the flags in; the set is tiny in practice
+/// (only conflict-resolved updates carry it).
+struct RepairPayload {
+  std::vector<replica::Update> updates;
+  std::vector<replica::UpdateKey> invalidated;
+  vv::VersionVector sender_counts;
+  bool respond = false;
 };
 
 class ReplicaSyncAgent final : public net::MessageHandler {
@@ -46,17 +90,48 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   /// blocks updates, mirroring IdeaNode::write.
   bool put(std::string content, double meta_delta);
 
+  /// Arm the periodic anti-entropy exchange (idempotent re-arm; 0 stops).
+  /// Rounds rotate deterministically over the other ranks, so every pair
+  /// digests each other within group_size - 1 periods.
+  void start_anti_entropy(SimDuration period);
+  void stop_anti_entropy();
+
+  /// Run one anti-entropy round right now (what the timer fires; exposed
+  /// so tests and benches can count rounds-to-convergence exactly).
+  void anti_entropy_round();
+
+  /// Stream a full state batch to every other rank as "shard.migrate"
+  /// messages sharing one payload allocation.  Used by the cluster after
+  /// seeding this (coordinator) replica's store during migration; returns
+  /// the number of messages sent.
+  std::size_t stream_state(const std::vector<replica::Update>& updates);
+
   void on_message(const net::Message& msg) override;
 
   [[nodiscard]] const ReplicaSyncStats& stats() const { return stats_; }
+  [[nodiscard]] bool anti_entropy_running() const {
+    return anti_entropy_timer_ != 0;
+  }
 
   static const net::MsgType kReplicateType;  ///< Interned "shard.replicate".
+  static const net::MsgType kDigestType;     ///< Interned "shard.digest".
+  static const net::MsgType kRepairType;     ///< Interned "shard.repair".
+  static const net::MsgType kMigrateType;    ///< Interned "shard.migrate".
 
  private:
+  /// Apply a batch of updates (repair or migration), bumping `applied_stat`
+  /// per newly applied update and noting replica activity once.
+  std::size_t apply_batch(const std::vector<replica::Update>& updates,
+                          std::uint64_t& applied_stat);
+  void send_repair(NodeId to_rank, std::vector<replica::Update> updates,
+                   bool respond);
+
   core::IdeaNode& node_;
   net::Transport& transport_;
   std::uint32_t group_size_;
   ReplicaSyncStats stats_;
+  std::uint64_t anti_entropy_timer_ = 0;
+  std::uint32_t ae_rotation_ = 0;  ///< Round-robin peer cursor.
 };
 
 }  // namespace idea::shard

@@ -1,6 +1,8 @@
 #include "shard/sharded_cluster.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 namespace idea::shard {
 
@@ -36,8 +38,49 @@ ShardedCluster::~ShardedCluster() {
   files_.clear();
 }
 
+std::vector<NodeId> ShardedCluster::endpoints() const {
+  std::vector<NodeId> out;
+  out.reserve(services_.size());
+  for (NodeId n = 0; n < services_.size(); ++n) {
+    if (services_[n] != nullptr) out.push_back(n);
+  }
+  return out;
+}
+
 void ShardedCluster::place(FileId first, std::uint32_t count) {
   for (std::uint32_t i = 0; i < count; ++i) ensure_open(first + i);
+}
+
+ShardedCluster::FileGroup& ShardedCluster::open_group(
+    FileId file, std::vector<NodeId> members) {
+  // Scope the per-file protocol to the group: the RanSub tree, gossip peer
+  // space and bottom layer all cover exactly the k replicas, in rank space.
+  core::IdeaConfig idea = config_.idea;
+  const auto k = static_cast<std::uint32_t>(members.size());
+  idea.ransub.nodes = k;
+  idea.gossip.nodes = k;
+  idea.two_layer.all_nodes = k;
+
+  const std::uint32_t epoch = ++epochs_[file];
+  FileGroup group;
+  group.members = std::move(members);
+  group.transports.reserve(k);
+  group.sync.reserve(k);
+  for (std::uint32_t rank = 0; rank < k; ++rank) {
+    auto transport = std::make_unique<GroupTransport>(
+        edge(), group.members, rank, epoch);
+    core::IdeaNode& node = services_[group.members[rank]]->open_via(
+        file, idea, *transport, rank, transport.get());
+    transport->set_sink(&node.dispatcher());
+    group.sync.push_back(
+        std::make_unique<ReplicaSyncAgent>(node, *transport, k));
+    if (config_.anti_entropy_period > 0) {
+      group.sync.back()->start_anti_entropy(config_.anti_entropy_period);
+    }
+    group.transports.push_back(std::move(transport));
+    node.start();
+  }
+  return files_.emplace(file, std::move(group)).first->second;
 }
 
 core::IdeaNode* ShardedCluster::ensure_open(FileId file) {
@@ -54,33 +97,99 @@ core::IdeaNode* ShardedCluster::ensure_open(FileId file) {
   for (NodeId member : members) {
     if (services_[member]->find(file) != nullptr) return nullptr;
   }
+  FileGroup& group = open_group(file, members);
+  return services_[group.members.front()]->find(file);
+}
 
-  // Scope the per-file protocol to the group: the RanSub tree, gossip peer
-  // space and bottom layer all cover exactly the k replicas, in rank space.
-  core::IdeaConfig idea = config_.idea;
-  const auto k = static_cast<std::uint32_t>(members.size());
-  idea.ransub.nodes = k;
-  idea.gossip.nodes = k;
-  idea.two_layer.all_nodes = k;
+MembershipChange ShardedCluster::add_endpoint() {
+  const HashRing before = ring_;
+  const auto id = static_cast<NodeId>(services_.size());
+  // Grow the latency topology and the transport's per-node state first:
+  // the new endpoint's IdeaService attaches to the transport immediately.
+  latency_->ensure_nodes(id + 1);
+  sim_transport_->ensure_node(id);
+  ring_.add_node(id);
+  services_.push_back(std::make_unique<core::IdeaService>(
+      id, edge(), mix64(config_.seed ^ (0x5E4D1CEULL + id))));
 
-  FileGroup group;
-  group.members = members;
-  group.transports.reserve(members.size());
-  group.sync.reserve(members.size());
-  for (std::uint32_t rank = 0; rank < k; ++rank) {
-    auto transport =
-        std::make_unique<GroupTransport>(edge(), members, rank);
-    core::IdeaNode& node = services_[members[rank]]->open_via(
-        file, idea, *transport, rank, transport.get());
-    transport->set_sink(&node.dispatcher());
-    group.sync.push_back(
-        std::make_unique<ReplicaSyncAgent>(node, *transport, k));
-    group.transports.push_back(std::move(transport));
-    node.start();
+  MembershipChange change;
+  change.endpoint = id;
+  migrate_changed_groups(before, change);
+  return change;
+}
+
+MembershipChange ShardedCluster::remove_endpoint(NodeId endpoint) {
+  MembershipChange change;
+  if (!has_endpoint(endpoint) || !ring_.contains(endpoint)) return change;
+  change.endpoint = endpoint;
+  const HashRing before = ring_;
+  ring_.remove_node(endpoint);
+  // Migrate while the leaving endpoint is still alive: its replicas are
+  // part of the state hand-off union (it may hold updates nobody else
+  // received yet).
+  migrate_changed_groups(before, change);
+  services_[endpoint].reset();  // detaches its transport slot
+  return change;
+}
+
+void ShardedCluster::migrate_changed_groups(const HashRing& before,
+                                            MembershipChange& change) {
+  // files_ is hash-ordered; walk the placed set sorted so migration (and
+  // therefore every streaming send) happens in a reproducible order.
+  std::vector<FileId> placed;
+  placed.reserve(files_.size());
+  for (const auto& [file, group] : files_) placed.push_back(file);
+  std::sort(placed.begin(), placed.end());
+
+  change.rebalance =
+      HashRing::rebalance(before, ring_, placed, config_.replication);
+
+  for (FileId file : placed) {
+    auto it = files_.find(file);
+    std::vector<NodeId> members = ring_.replicas(file, config_.replication);
+    if (members == it->second.members) continue;
+
+    // 1. Union snapshot of every old replica's log: under loss the old
+    //    coordinator may be missing updates a peer applied, and the
+    //    leaving endpoint may hold updates nobody else received yet.
+    //    Invalidation flags survive by OR (resolution may have reached
+    //    only part of the old group when the membership change hit).
+    std::map<replica::UpdateKey, replica::Update> merged;
+    for (NodeId member : it->second.members) {
+      core::IdeaNode* node = services_[member]->find(file);
+      if (node == nullptr) continue;
+      for (replica::Update& u : node->store().export_log()) {
+        const bool invalidated = u.invalidated;
+        auto [mit, inserted] = merged.emplace(u.key, std::move(u));
+        if (!inserted && invalidated) mit->second.invalidated = true;
+      }
+    }
+    std::vector<replica::Update> snapshot;
+    snapshot.reserve(merged.size());
+    for (auto& [key, u] : merged) snapshot.push_back(std::move(u));
+
+    // 2. Tear down the old group epoch (agents first: they unroute from
+    //    the dispatchers the node teardown destroys).
+    it->second.sync.clear();
+    for (NodeId member : it->second.members) services_[member]->close(file);
+    files_.erase(it);
+
+    if (members.empty()) continue;  // last endpoint left; file unplaced
+
+    // 3. Fresh stacks on the new members; the new coordinator adopts the
+    //    snapshot synchronously (the durable hand-off — this also advances
+    //    its writer-0 sequence so routed writes continue the old history),
+    //    then streams it to the other ranks over the wire.
+    FileGroup& group = open_group(file, std::move(members));
+    if (!snapshot.empty()) {  // cold files have nothing to hand over
+      core::IdeaNode* coordinator =
+          services_[group.members.front()]->find(file);
+      coordinator->store().import_log(snapshot);
+      change.state_updates += snapshot.size();
+      change.stream_messages += group.sync.front()->stream_state(snapshot);
+    }
+    ++change.files_migrated;
   }
-  core::IdeaNode* coordinator = services_[members.front()]->find(file);
-  files_.emplace(file, std::move(group));
-  return coordinator;
 }
 
 bool ShardedCluster::close_file(FileId file) {

@@ -12,6 +12,18 @@
 /// scoped to its group through a rank-translating GroupTransport, so the
 /// group forms the file's private RanSub tree / gossip mesh / top layer —
 /// §4.1's per-file independence, now across thousands of tenants.
+///
+/// Elastic membership: add_endpoint()/remove_endpoint() recompute the
+/// ring and migrate exactly the files whose replica group changed (the
+/// set HashRing::rebalance quantifies).  A migrated file's group is
+/// rebuilt on the new members — a fresh group epoch: overlay and detector
+/// state restart, rank ids are reassigned by the new ring order — and its
+/// state moves by streaming: the union of the old replicas' logs seeds
+/// the new coordinator synchronously (its durable hand-off), which then
+/// streams the batch to the other ranks as "shard.migrate" messages over
+/// the new GroupTransport, subject to real latency and loss.  Anti-
+/// entropy (config.anti_entropy_period) heals whatever the stream or the
+/// regular replication pushes lose.
 
 #include <memory>
 #include <unordered_map>
@@ -39,6 +51,10 @@ struct ShardedClusterConfig {
   bool batching = true;  ///< Coalesce same-pair sends per tick.
   net::BatchingOptions batch;
   std::uint64_t seed = 2007;
+  /// Period of each replica's anti-entropy digest exchange; 0 disables it
+  /// (the default keeps fixed-seed replays of push-only deployments
+  /// byte-identical with earlier captures).
+  SimDuration anti_entropy_period = 0;
 
   ShardedClusterConfig() { sync_sizes(); }
 
@@ -49,10 +65,50 @@ struct ShardedClusterConfig {
   }
 };
 
+/// What one add_endpoint()/remove_endpoint() call did.
+struct MembershipChange {
+  NodeId endpoint = kNoNode;  ///< The joining/leaving endpoint (kNoNode if
+                              ///< the call was a no-op).
+  /// Ring-placement delta over the files that were placed at the time of
+  /// the change; files_migrated must equal rebalance.group_changed.
+  RebalanceStats rebalance;
+  std::size_t files_migrated = 0;   ///< Groups torn down and rebuilt.
+  std::size_t state_updates = 0;    ///< Snapshot updates handed over.
+  std::size_t stream_messages = 0;  ///< "shard.migrate" messages sent.
+};
+
 class ShardedCluster {
  public:
   explicit ShardedCluster(ShardedClusterConfig config);
   ~ShardedCluster();
+
+  // ------------------------------------------------------------------
+  // Membership
+  // ------------------------------------------------------------------
+
+  /// Stand up a new endpoint (next dense id), add it to the ring, and
+  /// migrate every placed file whose replica group the new points
+  /// intercept.  Migration is synchronous up to the streaming sends: when
+  /// this returns, placements and coordinators reflect the new ring, new
+  /// coordinators already hold full state, and non-coordinator ranks warm
+  /// up as the in-flight "shard.migrate" batches deliver.
+  MembershipChange add_endpoint();
+
+  /// Take an endpoint out of the ring, migrate its files to their new
+  /// groups, then tear the endpoint down (its transport slot detaches and
+  /// in-flight traffic to it drops).  No-op if the endpoint is unknown or
+  /// already removed.
+  MembershipChange remove_endpoint(NodeId endpoint);
+
+  /// Whether `endpoint` is currently alive (constructed or added, and not
+  /// removed).  Endpoint ids are dense and never reused, so removed ids
+  /// stay holes.
+  [[nodiscard]] bool has_endpoint(NodeId endpoint) const {
+    return endpoint < services_.size() && services_[endpoint] != nullptr;
+  }
+
+  /// Ids of the live endpoints, ascending.
+  [[nodiscard]] std::vector<NodeId> endpoints() const;
 
   // ------------------------------------------------------------------
   // Placement
@@ -140,6 +196,9 @@ class ShardedCluster {
   [[nodiscard]] net::BatchingTransport* batching() {
     return batching_.get();
   }
+  /// The underlying simulated wire — fault-injection hooks (drop windows,
+  /// partitions) live here.
+  [[nodiscard]] net::SimTransport& transport() { return *sim_transport_; }
   /// What actually hit the simulated wire (envelopes after batching).
   [[nodiscard]] const net::MessageCounters& wire_counters() const {
     return sim_transport_->counters();
@@ -159,12 +218,26 @@ class ShardedCluster {
     std::vector<std::unique_ptr<ReplicaSyncAgent>> sync;      ///< by rank
   };
 
+  /// Build the file's protocol stacks + sync agents on `members` (rank
+  /// order as given).  The file must not currently be placed.
+  FileGroup& open_group(FileId file, std::vector<NodeId> members);
+
+  /// Tear down and rebuild every placed file whose replica group differs
+  /// between `before` and the current ring, streaming state to the new
+  /// group; fills the migration counters of `change`.
+  void migrate_changed_groups(const HashRing& before,
+                              MembershipChange& change);
+
   ShardedClusterConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<sim::PlanetLabLatency> latency_;
   std::unique_ptr<net::SimTransport> sim_transport_;
   std::unique_ptr<net::BatchingTransport> batching_;
   HashRing ring_;
+  /// Next group-epoch per file (see GroupTransport's fence): bumped every
+  /// time a file's group is (re)built, so in-flight traffic from a torn-
+  /// down incarnation can never reach the replacement stacks.
+  std::unordered_map<FileId, std::uint32_t> epochs_;
   // files_ must outlive services_ (declared before = destroyed after):
   // IdeaNode destructors cancel timers through their GroupTransport.
   std::unordered_map<FileId, FileGroup> files_;

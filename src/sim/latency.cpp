@@ -30,13 +30,14 @@ SimDuration MatrixLatency::mean(NodeId from, NodeId to) const {
 }
 
 PlanetLabLatency::PlanetLabLatency(const PlanetLabParams& params)
-    : params_(params) {
-  Rng placement(params.placement_seed);
-  x_.resize(params.nodes);
-  y_.resize(params.nodes);
-  for (std::uint32_t i = 0; i < params.nodes; ++i) {
-    x_[i] = placement.uniform01();
-    y_[i] = placement.uniform01();
+    : params_(params), placement_(params.placement_seed) {
+  ensure_nodes(params.nodes);
+}
+
+void PlanetLabLatency::ensure_nodes(std::uint32_t count) {
+  while (x_.size() < count) {
+    x_.push_back(placement_.uniform01());
+    y_.push_back(placement_.uniform01());
   }
 }
 

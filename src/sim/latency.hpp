@@ -103,6 +103,13 @@ class PlanetLabLatency final : public LatencyModel {
   /// input to the Figure 9 extrapolation formulas).
   [[nodiscard]] SimDuration mean_pairwise() const;
 
+  /// Grow the topology to at least `count` nodes (elastic membership:
+  /// endpoints joining after construction need coordinates too).  New
+  /// nodes continue the placement RNG stream, so a topology grown in two
+  /// steps is identical to one constructed at the final size; existing
+  /// coordinates never move.
+  void ensure_nodes(std::uint32_t count);
+
   [[nodiscard]] std::uint32_t node_count() const {
     return static_cast<std::uint32_t>(x_.size());
   }
@@ -111,6 +118,7 @@ class PlanetLabLatency final : public LatencyModel {
   [[nodiscard]] SimDuration base(NodeId from, NodeId to) const;
 
   PlanetLabParams params_;
+  Rng placement_;              // consumed in ensure_nodes only
   std::vector<double> x_, y_;  // coordinates in [0,1)
 };
 

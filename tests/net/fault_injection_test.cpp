@@ -1,0 +1,189 @@
+/// \file fault_injection_test.cpp
+/// \brief SimTransport's scripted fault hooks: drop windows and pairwise
+///        partitions.
+///
+/// These are the levers the membership/anti-entropy tests pull to force
+/// the exact divergence anti-entropy must heal, so their semantics are
+/// pinned precisely here: window boundaries ([from, until), send-time
+/// evaluation), partition symmetry and healing, separate accounting from
+/// the probabilistic loss model, and — the property the replay-based
+/// tests depend on — that enabling a fault script does not perturb the
+/// RNG stream of the messages that still get through.
+
+#include "net/sim_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace idea::net {
+namespace {
+
+class Collector : public MessageHandler {
+ public:
+  void on_message(const Message& msg) override { received.push_back(msg); }
+  std::vector<Message> received;
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  sim::ConstantLatency latency_{msec(10)};
+};
+
+TEST_F(FaultInjectionTest, DropWindowDropsExactlyTheScriptedSpan) {
+  SimTransport t(sim_, latency_);
+  Collector c;
+  t.attach(1, &c);
+  t.add_drop_window(msec(100), msec(300));  // [100 ms, 300 ms)
+
+  auto send_at = [&](SimTime when) {
+    sim_.schedule_at(when, [&t] {
+      Message m;
+      m.from = 0;
+      m.to = 1;
+      m.type = MsgType::intern("x");
+      t.send(std::move(m));
+    });
+  };
+  send_at(msec(50));   // before the window: delivers
+  send_at(msec(100));  // window start is inclusive: dropped
+  send_at(msec(200));  // inside: dropped
+  send_at(msec(299));  // last lossy instant: dropped
+  send_at(msec(300));  // window end is exclusive: delivers
+  send_at(msec(400));  // after: delivers
+  sim_.run();
+
+  EXPECT_EQ(c.received.size(), 3u);
+  EXPECT_EQ(t.fault_dropped(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);  // scripted faults are accounted separately
+  // Send-side counters still see every send (the message hit the wire and
+  // died there, as a real loss would).
+  EXPECT_EQ(t.counters().total_messages(), 6u);
+
+  // A message sent before the window but delivered inside it is *not*
+  // dropped: faults act at send time, like the loss model.
+  t.clear_drop_windows();
+  t.add_drop_window(sec(1) + msec(5), sec(2));
+  send_at(sec(1));  // in flight when the window opens; lands at 1.010
+  sim_.run();
+  EXPECT_EQ(c.received.size(), 4u);
+}
+
+TEST_F(FaultInjectionTest, PartitionCutsBothDirectionsUntilHealed) {
+  SimTransport t(sim_, latency_);
+  Collector c1;
+  Collector c2;
+  t.attach(1, &c1);
+  t.attach(2, &c2);
+  t.partition(1, 2);
+  EXPECT_TRUE(t.partitioned(1, 2));
+  EXPECT_TRUE(t.partitioned(2, 1));  // symmetric
+
+  auto send = [&](NodeId from, NodeId to) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = MsgType::intern("x");
+    t.send(std::move(m));
+  };
+  send(1, 2);
+  send(2, 1);
+  send(0, 2);  // uninvolved pair: unaffected
+  sim_.run();
+  EXPECT_TRUE(c1.received.empty());
+  EXPECT_EQ(c2.received.size(), 1u);
+  EXPECT_EQ(t.fault_dropped(), 2u);
+
+  t.heal(1, 2);
+  EXPECT_FALSE(t.partitioned(1, 2));
+  send(1, 2);
+  send(2, 1);
+  sim_.run();
+  EXPECT_EQ(c1.received.size(), 1u);
+  EXPECT_EQ(c2.received.size(), 2u);
+
+  t.partition(0, 1);
+  t.partition(0, 2);
+  t.heal_all_partitions();
+  EXPECT_FALSE(t.partitioned(0, 1));
+  EXPECT_FALSE(t.partitioned(0, 2));
+}
+
+TEST_F(FaultInjectionTest, ScriptedFaultsDoNotPerturbTheLossStream) {
+  // Two transports with the same seed and loss rate; one also has a drop
+  // window.  Messages sent outside the window must see identical loss
+  // decisions and delays — faults drop only after the loss/latency RNG
+  // draws, so the streams stay aligned.
+  SimTransportOptions opts;
+  opts.loss_rate = 0.3;
+  opts.seed = 77;
+
+  auto run = [&](bool faulted) {
+    sim::Simulator sim;
+    sim::ConstantLatency latency{msec(10)};
+    SimTransport t(sim, latency, opts);
+    Collector c;
+    t.attach(1, &c);
+    if (faulted) t.add_drop_window(msec(400), msec(600));
+    for (int i = 0; i < 200; ++i) {
+      sim.schedule_at(msec(10) * i, [&t] {
+        Message m;
+        m.from = 0;
+        m.to = 1;
+        m.type = MsgType::intern("x");
+        t.send(std::move(m));
+      });
+    }
+    sim.run();
+    std::vector<SimTime> arrival_times;
+    for (const Message& m : c.received) arrival_times.push_back(m.sent_at);
+    return arrival_times;
+  };
+
+  const std::vector<SimTime> clean = run(false);
+  const std::vector<SimTime> faulted = run(true);
+  // The faulted run's deliveries are exactly the clean run's minus those
+  // sent inside [400 ms, 600 ms).
+  std::vector<SimTime> expected;
+  for (SimTime at : clean) {
+    if (at < msec(400) || at >= msec(600)) expected.push_back(at);
+  }
+  EXPECT_EQ(faulted, expected);
+}
+
+TEST_F(FaultInjectionTest, EnsureNodeGrowsHandlerAndSkewState) {
+  SimTransportOptions opts;
+  opts.max_clock_skew = msec(250);
+  opts.node_count = 2;
+  opts.seed = 4;
+  SimTransport t(sim_, latency_, opts);
+  const SimDuration skew0 = t.skew_of(0);
+  const SimDuration skew1 = t.skew_of(1);
+
+  t.ensure_node(7);
+  // Existing nodes keep their construction-time skew...
+  EXPECT_EQ(t.skew_of(0), skew0);
+  EXPECT_EQ(t.skew_of(1), skew1);
+  // ...and joiners get a bounded, deterministic one.
+  bool any_nonzero = false;
+  for (NodeId n = 2; n <= 7; ++n) {
+    EXPECT_LE(t.skew_of(n), msec(250));
+    EXPECT_GE(t.skew_of(n), -msec(250));
+    if (t.skew_of(n) != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+
+  Collector c;
+  t.attach(7, &c);
+  Message m;
+  m.from = 0;
+  m.to = 7;
+  m.type = MsgType::intern("x");
+  t.send(std::move(m));
+  sim_.run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace idea::net

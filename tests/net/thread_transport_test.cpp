@@ -95,7 +95,9 @@ TEST(ThreadTransport, SendFromMultipleThreads) {
 }
 
 TEST(ThreadTransport, DetachStopsDelivery) {
-  sim::ConstantLatency latency(msec(10));
+  // Generous latency (2 s virtual = 2 ms real): the detach below must win
+  // the race against delivery even on a loaded or sanitizer-slowed run.
+  sim::ConstantLatency latency(sec(2));
   ThreadTransport t(latency, fast_opts());
   AtomicCollector c;
   t.attach(1, &c);
