@@ -1,0 +1,252 @@
+/// \file read_policies.cpp
+/// \brief Read latency vs observed staleness across the four consistency
+///        levels — the trade-off the session API lets applications pick.
+///
+/// One deployment per level (32 endpoints, k=3, anti-entropy on, live
+/// write stream), same seed: clients attached at every endpoint read a
+/// rotating set of files under the level being measured.  Reported per
+/// level: client-observed read latency (mean/p95, from the latency-model
+/// round trips the routing implies) and observed staleness (versions the
+/// served view lagged the coordinator by at serve time, checked exactly).
+///
+/// Strong pays the full coordinator round trip at staleness 0; Eventual
+/// serves the nearest replica at whatever staleness it has; Bounded sits
+/// between (escalating when the bound would be violated); Quorum pays the
+/// slowest of a majority fan-out for staleness 0 without pinning load to
+/// the coordinator.  Emits BENCH_read_policies.json for the CI perf
+/// trajectory.
+///
+///   $ ./read_policies [--endpoints 32] [--files 256] [--sim-secs 12]
+///                     [--seed 2007] [--smoke] [--json FILE]
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/session.hpp"
+#include "shard/sharded_cluster.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace idea::bench {
+namespace {
+
+struct Setup {
+  std::uint32_t endpoints = 32;
+  std::uint32_t files = 256;
+  double sim_secs = 12.0;
+  std::uint64_t seed = 2007;
+};
+
+struct LevelResult {
+  std::string name;
+  std::uint64_t reads = 0;
+  std::vector<double> latencies_ms;
+  std::uint64_t staleness_total = 0;
+  std::uint64_t staleness_max = 0;
+  std::uint64_t stale_reads = 0;  ///< Reads served with staleness > 0.
+  std::uint64_t escalations = 0;
+  std::uint64_t coordinator_served = 0;
+
+  [[nodiscard]] double mean_latency_ms() const {
+    if (latencies_ms.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : latencies_ms) sum += v;
+    return sum / static_cast<double>(latencies_ms.size());
+  }
+  [[nodiscard]] double p95_latency_ms() {
+    if (latencies_ms.empty()) return 0.0;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    return latencies_ms[latencies_ms.size() * 95 / 100];
+  }
+  [[nodiscard]] double mean_staleness() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(staleness_total) /
+                            static_cast<double>(reads);
+  }
+};
+
+LevelResult run_level(const Setup& s, const std::string& name,
+                      const client::ConsistencyLevel& level) {
+  shard::ShardedClusterConfig cfg;
+  cfg.endpoints = s.endpoints;
+  cfg.replication = 3;
+  cfg.seed = s.seed;
+  cfg.anti_entropy_period = msec(500);
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
+  // On-demand mode, no hint: no resolution rounds block the write
+  // stream, so every level sees the identical update history.
+  cfg.idea.controller.mode = core::AdaptiveMode::kOnDemand;
+  cfg.idea.controller.hint = 0.0;
+  cfg.idea.detection_period = sec(2);
+  auto cluster = std::make_unique<shard::ShardedCluster>(cfg);
+  cluster->place(1, s.files);
+
+  client::Client client(*cluster);
+  client::ClientSession writer = client.session();
+
+  // Scripted loss windows (1.2 s of full loss every 3 s): replication
+  // pushes issued inside a window drop, so the written files' replicas
+  // lag their coordinator until anti-entropy repairs them — the staleness
+  // the read policies then either accept (Eventual), cap (Bounded) or
+  // refuse (Strong/Quorum).  Fault injection is RNG-stream-preserving,
+  // so every level replays the identical history.
+  const auto end_time = static_cast<SimTime>(s.sim_secs * 1'000'000.0);
+  for (SimTime t = sec(1); t + msec(1200) < end_time; t += sec(3)) {
+    cluster->transport().add_drop_window(t, t + msec(1200));
+  }
+
+  // A steady write stream over a hot set of files, every 30 ms: hot
+  // files accumulate multiple versions of staleness inside each loss
+  // window instead of at most one.
+  const std::uint32_t hot = std::min<std::uint32_t>(8, s.files);
+  std::uint64_t write_index = 0;
+  std::function<void()> write_tick = [&] {
+    const FileId f = 1 + static_cast<FileId>(write_index % hot);
+    writer.put(f, "w" + std::to_string(write_index), 1.0);
+    ++write_index;
+    if (cluster->sim().now() + msec(30) <= end_time) {
+      cluster->sim().schedule_after(msec(30), write_tick);
+    }
+  };
+  cluster->sim().schedule_at(msec(50), write_tick);
+
+  // Readers: one session per endpoint, each reading every 300 ms under
+  // the measured level — half the reads on the hot set (where staleness
+  // lives), half across the whole keyspace.
+  LevelResult result;
+  result.name = name;
+  std::vector<client::ClientSession> readers;
+  readers.reserve(s.endpoints);
+  for (NodeId origin = 0; origin < s.endpoints; ++origin) {
+    readers.push_back(client.session({.level = level, .origin = origin}));
+  }
+  Rng pick(mix64(s.seed ^ 0x5EAD5ULL));
+  std::function<void()> read_tick = [&] {
+    for (client::ClientSession& reader : readers) {
+      const FileId f =
+          1 + static_cast<FileId>(pick.chance(0.5)
+                                      ? pick.next_below(hot)
+                                      : pick.next_below(s.files));
+      const client::OpHandle<client::ReadResult> h = reader.read(f);
+      if (!h.ok()) continue;
+      ++result.reads;
+      result.latencies_ms.push_back(static_cast<double>(h->latency) /
+                                    1000.0);
+      result.staleness_total += h->staleness_versions;
+      result.staleness_max =
+          std::max(result.staleness_max, h->staleness_versions);
+      if (h->staleness_versions > 0) ++result.stale_reads;
+      if (h->escalated) ++result.escalations;
+      if (h->served_by == cluster->coordinator_endpoint(f)) {
+        ++result.coordinator_served;
+      }
+    }
+    if (cluster->sim().now() + msec(300) <= end_time) {
+      cluster->sim().schedule_after(msec(300), read_tick);
+    }
+  };
+  cluster->sim().schedule_at(msec(500), read_tick);
+
+  cluster->run_until(end_time);
+  return result;
+}
+
+void print_row(LevelResult& r) {
+  std::printf(
+      "%-18s %7" PRIu64 " reads  lat %6.1f ms mean / %6.1f ms p95   "
+      "staleness %5.2f mean / %3" PRIu64 " max (%4.1f%% stale reads)   "
+      "%5.1f%% coord-served  %" PRIu64 " escalations\n",
+      r.name.c_str(), r.reads, r.mean_latency_ms(), r.p95_latency_ms(),
+      r.mean_staleness(), r.staleness_max,
+      r.reads == 0 ? 0.0
+                   : 100.0 * static_cast<double>(r.stale_reads) /
+                         static_cast<double>(r.reads),
+      r.reads == 0 ? 0.0
+                   : 100.0 * static_cast<double>(r.coordinator_served) /
+                         static_cast<double>(r.reads),
+      r.escalations);
+}
+
+void write_json(const std::string& path, bool smoke, const Setup& s,
+                std::vector<LevelResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"read_policies\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"endpoints\": %u,\n", s.endpoints);
+  std::fprintf(f, "  \"files\": %u,\n", s.files);
+  std::fprintf(f, "  \"sim_secs\": %.1f,\n", s.sim_secs);
+  std::fprintf(f, "  \"levels\": {\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    LevelResult& r = results[i];
+    std::fprintf(f, "    \"%s\": {\n", r.name.c_str());
+    std::fprintf(f, "      \"reads\": %" PRIu64 ",\n", r.reads);
+    std::fprintf(f, "      \"mean_latency_ms\": %.2f,\n",
+                 r.mean_latency_ms());
+    std::fprintf(f, "      \"p95_latency_ms\": %.2f,\n", r.p95_latency_ms());
+    std::fprintf(f, "      \"mean_staleness_versions\": %.3f,\n",
+                 r.mean_staleness());
+    std::fprintf(f, "      \"max_staleness_versions\": %" PRIu64 ",\n",
+                 r.staleness_max);
+    std::fprintf(f, "      \"stale_read_fraction\": %.4f,\n",
+                 r.reads == 0 ? 0.0
+                              : static_cast<double>(r.stale_reads) /
+                                    static_cast<double>(r.reads));
+    std::fprintf(f, "      \"escalations\": %" PRIu64 ",\n", r.escalations);
+    std::fprintf(f, "      \"coordinator_served_fraction\": %.4f\n",
+                 r.reads == 0 ? 0.0
+                              : static_cast<double>(r.coordinator_served) /
+                                    static_cast<double>(r.reads));
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace idea::bench
+
+int main(int argc, char** argv) {
+  using namespace idea;
+  using namespace idea::bench;
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+
+  Setup s;
+  s.endpoints =
+      static_cast<std::uint32_t>(flags.get_int("endpoints", smoke ? 8 : 32));
+  s.files =
+      static_cast<std::uint32_t>(flags.get_int("files", smoke ? 64 : 256));
+  s.sim_secs = flags.get_double("sim-secs", smoke ? 6.0 : 12.0);
+  s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2007));
+
+  std::printf("read policies: %u endpoints, %u files, k=3, %.0f sim-secs, "
+              "seed %" PRIu64 "\n\n",
+              s.endpoints, s.files, s.sim_secs, s.seed);
+
+  std::vector<LevelResult> results;
+  results.push_back(
+      run_level(s, "strong", client::ConsistencyLevel::strong()));
+  results.push_back(run_level(s, "bounded_2v",
+                              client::ConsistencyLevel::bounded_staleness(2)));
+  results.push_back(run_level(s, "eventual_nearest",
+                              client::ConsistencyLevel::eventual_nearest()));
+  results.push_back(
+      run_level(s, "quorum_majority", client::ConsistencyLevel::quorum()));
+  for (LevelResult& r : results) print_row(r);
+
+  write_json(flags.get_string("json", "BENCH_read_policies.json"), smoke, s,
+             results);
+  return 0;
+}

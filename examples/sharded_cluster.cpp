@@ -3,15 +3,17 @@
 ///
 /// Stands up a sharded deployment — 8 IdeaService endpoints behind a
 /// batching transport — places 200 tenant files on the consistent-hash
-/// ring, drives a key-value workload through the ShardRouter, and shows
+/// ring, drives a key-value workload through a client session, and shows
 /// the three things the layer buys: balanced placement, replica-group
 /// convergence through the stock IDEA protocols, and batched fan-out.
+/// (See client_sessions.cpp for the consistency-level tour.)
 ///
 ///   $ ./sharded_cluster
 
 #include <cstdio>
 
 #include "apps/kvstore.hpp"
+#include "client/session.hpp"
 #include "shard/sharded_cluster.hpp"
 
 using namespace idea;
@@ -41,7 +43,7 @@ int main() {
   }
   std::printf("\n");
 
-  // --- 3. A key-value workload writes through the router. -----------------
+  // --- 3. A key-value workload writes through its client session. ---------
   apps::KvStore kv(cluster, apps::KvStoreOptions{.buckets = 200,
                                                  .first_file = 1});
   apps::KvWorkloadParams wl;

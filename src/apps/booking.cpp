@@ -1,6 +1,10 @@
 #include "apps/booking.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "shard/sharded_cluster.hpp"
 
 namespace idea::apps {
 
@@ -87,6 +91,73 @@ void BookingSystem::audit(NodeId controller_node) {
   }
   last_audited_oversell_ = oversell;
   last_audited_undersell_ = undersold_;
+}
+
+// ---------------------------------------------------------------------------
+// BookingDesks (sharded deployment, session API)
+// ---------------------------------------------------------------------------
+
+BookingDesks::BookingDesks(shard::ShardedCluster& cluster, FileId flight,
+                           std::vector<NodeId> desks, BookingParams params,
+                           std::uint64_t seed, client::ConsistencyLevel level)
+    : flight_(flight),
+      desks_(std::move(desks)),
+      params_(params),
+      rng_(seed),
+      client_(cluster) {
+  sessions_.reserve(desks_.size());
+  for (NodeId d : desks_) {
+    sessions_.push_back(client_.session({.level = level, .origin = d}));
+  }
+  if (!sessions_.empty()) sessions_.front().open(flight_);
+}
+
+client::ClientSession& BookingDesks::session_of(NodeId desk) {
+  const auto it = std::find(desks_.begin(), desks_.end(), desk);
+  assert(it != desks_.end() && "unknown booking desk");
+  return sessions_[static_cast<std::size_t>(it - desks_.begin())];
+}
+
+std::int64_t BookingDesks::live_bookings(const client::ReadResult& view) {
+  std::int64_t n = 0;
+  for (const replica::Update& u : *view.updates) {
+    if (!u.invalidated) ++n;
+  }
+  return n;
+}
+
+std::int64_t BookingDesks::seats_remaining_view(NodeId desk) {
+  const client::OpHandle<client::ReadResult> handle =
+      session_of(desk).read(flight_);
+  if (!handle.ok()) return static_cast<std::int64_t>(params_.capacity);
+  return static_cast<std::int64_t>(params_.capacity) -
+         live_bookings(handle.value());
+}
+
+bool BookingDesks::try_book(NodeId desk) {
+  if (seats_remaining_view(desk) <= 0) {
+    ++sold_out_;
+    return false;
+  }
+  const double price = rng_.uniform(params_.price_min, params_.price_max);
+  char content[64];
+  std::snprintf(content, sizeof(content), "seat@%.2f", price);
+  if (!session_of(desk).put(flight_, content, price).ok()) {
+    ++blocked_;
+    return false;
+  }
+  ++sold_;
+  return true;
+}
+
+std::int64_t BookingDesks::oversell_amount() {
+  if (sessions_.empty()) return 0;
+  const client::OpHandle<client::ReadResult> strong =
+      sessions_.front().read(flight_, client::ConsistencyLevel::strong());
+  if (!strong.ok()) return 0;
+  const std::int64_t sold = live_bookings(strong.value());
+  const auto capacity = static_cast<std::int64_t>(params_.capacity);
+  return sold > capacity ? sold - capacity : 0;
 }
 
 }  // namespace idea::apps

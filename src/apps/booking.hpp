@@ -14,9 +14,14 @@
 
 #include <vector>
 
+#include "client/session.hpp"
 #include "core/cluster.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+
+namespace idea::shard {
+class ShardedCluster;
+}
 
 namespace idea::apps {
 
@@ -81,6 +86,53 @@ class BookingSystem {
   std::uint64_t undersold_ = 0;
   std::int64_t last_audited_oversell_ = 0;
   std::uint64_t last_audited_undersell_ = 0;
+};
+
+/// The booking system as a sharded-cluster tenant: one flight-record
+/// file placed on the ring, each selling desk a client session attached
+/// at its own endpoint.  A desk decides from the view its declared
+/// consistency level routes to — a stale nearest-replica view can
+/// oversell exactly the way the paper's asynchronous servers do, while
+/// Strong desks never see stale seat counts — and bookings are written
+/// through the session as strong puts.
+class BookingDesks {
+ public:
+  BookingDesks(
+      shard::ShardedCluster& cluster, FileId flight,
+      std::vector<NodeId> desks, BookingParams params, std::uint64_t seed,
+      client::ConsistencyLevel level = client::ConsistencyLevel::strong());
+
+  /// A customer asks `desk` for a seat.  True when a booking was
+  /// written; refusals split into blocked (resolution in flight) and
+  /// sold-out-view (the routed view shows no seats).
+  bool try_book(NodeId desk);
+
+  /// Seats this desk believes remain, per its session's routed view.
+  [[nodiscard]] std::int64_t seats_remaining_view(NodeId desk);
+
+  /// Amount sold beyond capacity per the coordinator's (strong) view.
+  [[nodiscard]] std::int64_t oversell_amount();
+
+  [[nodiscard]] std::uint64_t sold() const { return sold_; }
+  [[nodiscard]] std::uint64_t refused_blocked() const { return blocked_; }
+  [[nodiscard]] std::uint64_t refused_sold_out() const { return sold_out_; }
+  [[nodiscard]] const std::vector<NodeId>& desks() const { return desks_; }
+
+ private:
+  [[nodiscard]] client::ClientSession& session_of(NodeId desk);
+  [[nodiscard]] static std::int64_t live_bookings(
+      const client::ReadResult& view);
+
+  FileId flight_;
+  std::vector<NodeId> desks_;
+  BookingParams params_;
+  Rng rng_;
+  client::Client client_;
+  std::vector<client::ClientSession> sessions_;  ///< Parallel to desks_.
+
+  std::uint64_t sold_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t sold_out_ = 0;
 };
 
 }  // namespace idea::apps

@@ -7,7 +7,9 @@
 namespace idea::apps {
 
 KvStore::KvStore(shard::ShardedCluster& cluster, KvStoreOptions options)
-    : cluster_(cluster), options_(options) {}
+    : cluster_(cluster),
+      options_(options),
+      session_(cluster, options.session) {}
 
 FileId KvStore::bucket_of(const std::string& key) const {
   std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a over the key bytes
@@ -27,29 +29,31 @@ double KvStore::pair_meta(const std::string& key, const std::string& value) {
 }
 
 bool KvStore::put(const std::string& key, const std::string& value) {
-  const bool ok =
-      cluster_.router().write(bucket_of(key), key + kSeparator + value,
-                              pair_meta(key, value));
+  const bool ok = session_
+                      .put(bucket_of(key), key + kSeparator + value,
+                           pair_meta(key, value))
+                      .ok();
   ok ? ++puts_ : ++blocked_puts_;
   return ok;
 }
 
 std::optional<std::string> KvStore::get(const std::string& key) {
   ++gets_;
-  core::IdeaNode* coordinator =
-      cluster_.router().read_replica(bucket_of(key));
-  if (coordinator == nullptr) return std::nullopt;
-  // Scan the log in place (no copy of the bucket's history) for the
-  // live update latest in canonical order — the value a reader of the
-  // rendered file would see as current.
+  const client::OpHandle<client::ReadResult> handle =
+      session_.read(bucket_of(key));
+  if (!handle.ok()) return std::nullopt;
+  // Scan the routed view in place (a shared snapshot — no copy of the
+  // bucket's history).  The view is in canonical order, so the last
+  // live match is the value a reader of the rendered file sees as
+  // current.
   const std::string prefix = key + kSeparator;
   const replica::Update* best = nullptr;
-  for (const auto& [update_key, u] : coordinator->store().log()) {
+  for (const replica::Update& u : *handle->updates) {
     if (u.invalidated ||
         u.content.compare(0, prefix.size(), prefix) != 0) {
       continue;
     }
-    if (best == nullptr || replica::CanonicalOrder{}(*best, u)) best = &u;
+    best = &u;
   }
   if (best == nullptr) return std::nullopt;
   ++hits_;

@@ -7,14 +7,16 @@
 /// workload space — millions of keys, each lukewarm, spread over as many
 /// shared files as the cluster hosts.  KvStore hashes keys into a fixed
 /// universe of bucket files placed on the ring (several keys share a
-/// bucket, like rows sharing a tablet), routes puts and gets through the
-/// ShardRouter, and KvWorkload drives scripted clients against it on the
-/// simulator with uniform or Zipf-skewed key popularity.
+/// bucket, like rows sharing a tablet), routes puts and gets through a
+/// client session at a declared consistency level, and KvWorkload drives
+/// scripted clients against it on the simulator with uniform or
+/// Zipf-skewed key popularity.
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "client/session.hpp"
 #include "shard/sharded_cluster.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +25,9 @@ namespace idea::apps {
 struct KvStoreOptions {
   std::uint32_t buckets = 1024;  ///< Bucket files keys hash into.
   FileId first_file = 1;         ///< Bucket file ids: first..first+buckets-1.
+  /// Session the store issues its operations under.  The default —
+  /// Strong, no origin — reproduces coordinator reads byte-exactly.
+  client::SessionOptions session;
 };
 
 class KvStore {
@@ -41,7 +46,8 @@ class KvStore {
   /// Returns false while the bucket's resolution blocks writes.
   bool put(const std::string& key, const std::string& value);
 
-  /// Latest live value of `key` as the bucket coordinator sees it.
+  /// Latest live value of `key` in the view the session's consistency
+  /// level routes the read to (the bucket coordinator under Strong).
   [[nodiscard]] std::optional<std::string> get(const std::string& key);
 
   /// Meta-data contribution of one kv pair: scaled ASCII sum, like the
@@ -55,10 +61,12 @@ class KvStore {
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] const KvStoreOptions& options() const { return options_; }
   [[nodiscard]] shard::ShardedCluster& cluster() { return cluster_; }
+  [[nodiscard]] client::ClientSession& session() { return session_; }
 
  private:
   shard::ShardedCluster& cluster_;
   KvStoreOptions options_;
+  client::ClientSession session_;
   std::uint64_t puts_ = 0;
   std::uint64_t blocked_puts_ = 0;
   std::uint64_t gets_ = 0;

@@ -1,6 +1,9 @@
 #include "apps/whiteboard.hpp"
 
 #include <algorithm>
+#include <cassert>
+
+#include "shard/sharded_cluster.hpp"
 
 namespace idea::apps {
 
@@ -64,6 +67,71 @@ bool WhiteboardApp::boards_match() const {
   const auto first = view(participants_.front());
   for (NodeId p : participants_) {
     if (view(p) != first) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SharedWhiteboard (sharded deployment, session API)
+// ---------------------------------------------------------------------------
+
+SharedWhiteboard::SharedWhiteboard(shard::ShardedCluster& cluster,
+                                   FileId board,
+                                   std::vector<NodeId> participants,
+                                   client::ConsistencyLevel level)
+    : board_(board),
+      participants_(std::move(participants)),
+      client_(cluster) {
+  sessions_.reserve(participants_.size());
+  for (NodeId p : participants_) {
+    sessions_.push_back(
+        client_.session({.level = level, .origin = p}));
+  }
+  if (!sessions_.empty()) sessions_.front().open(board_);
+}
+
+client::ClientSession& SharedWhiteboard::session_of(NodeId user) {
+  const auto it =
+      std::find(participants_.begin(), participants_.end(), user);
+  assert(it != participants_.end() && "unknown whiteboard participant");
+  return sessions_[static_cast<std::size_t>(it - participants_.begin())];
+}
+
+bool SharedWhiteboard::post(NodeId user, const std::string& text) {
+  return session_of(user)
+      .put(board_, text, WhiteboardApp::stroke_meta(text))
+      .ok();
+}
+
+client::OpHandle<client::ReadResult> SharedWhiteboard::read(NodeId user) {
+  return session_of(user).read(board_);
+}
+
+std::vector<std::string> SharedWhiteboard::view(NodeId user) {
+  std::vector<std::string> out;
+  const client::OpHandle<client::ReadResult> handle = read(user);
+  if (!handle.ok()) return out;
+  for (const replica::Update& u : *handle->updates) {
+    if (!u.invalidated) out.push_back(u.content);
+  }
+  return out;
+}
+
+double SharedWhiteboard::level() {
+  return sessions_.empty() ? 1.0 : sessions_.front().level(board_);
+}
+
+bool SharedWhiteboard::boards_match() {
+  if (sessions_.empty()) return true;
+  const client::OpHandle<client::ReadResult> strong =
+      sessions_.front().read(board_, client::ConsistencyLevel::strong());
+  if (!strong.ok()) return false;
+  std::vector<std::string> reference;
+  for (const replica::Update& u : *strong->updates) {
+    if (!u.invalidated) reference.push_back(u.content);
+  }
+  for (NodeId p : participants_) {
+    if (view(p) != reference) return false;
   }
   return true;
 }

@@ -13,8 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "client/session.hpp"
 #include "core/cluster.hpp"
 #include "util/stats.hpp"
+
+namespace idea::shard {
+class ShardedCluster;
+}
 
 namespace idea::apps {
 
@@ -67,6 +72,50 @@ class WhiteboardApp {
   std::vector<UserModel> users_;
   TimeSeries worst_{"view from the user"};
   TimeSeries average_{"system average"};
+};
+
+/// The white board as a sharded-cluster tenant: one board file placed on
+/// the ring, each participant a client session attached at its own
+/// endpoint with the board's declared consistency level.  Strokes are
+/// strong writes through the participant's session; views are routed
+/// reads at the declared level — the sharded deployment of §3.1, driven
+/// entirely through the unified client API.
+class SharedWhiteboard {
+ public:
+  SharedWhiteboard(shard::ShardedCluster& cluster, FileId board,
+                   std::vector<NodeId> participants,
+                   client::ConsistencyLevel level);
+
+  /// Post a stroke as `user`; returns false while resolution blocks
+  /// writes.
+  bool post(NodeId user, const std::string& text);
+
+  /// The board as `user`'s session currently reads it (live strokes,
+  /// canonical order, served per the declared level).
+  [[nodiscard]] std::vector<std::string> view(NodeId user);
+
+  /// The routed read behind view(), with its staleness/latency detail.
+  [[nodiscard]] client::OpHandle<client::ReadResult> read(NodeId user);
+
+  /// The consistency level IDEA attaches to the board's coordinator.
+  [[nodiscard]] double level();
+
+  /// True iff every participant's declared-level view currently matches
+  /// the coordinator's strong view.
+  [[nodiscard]] bool boards_match();
+
+  [[nodiscard]] const std::vector<NodeId>& participants() const {
+    return participants_;
+  }
+  [[nodiscard]] FileId board() const { return board_; }
+
+ private:
+  [[nodiscard]] client::ClientSession& session_of(NodeId user);
+
+  FileId board_;
+  std::vector<NodeId> participants_;
+  client::Client client_;
+  std::vector<client::ClientSession> sessions_;  ///< Parallel to participants_.
 };
 
 }  // namespace idea::apps

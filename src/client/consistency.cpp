@@ -1,0 +1,21 @@
+#include "client/consistency.hpp"
+
+namespace idea::client {
+
+std::string ConsistencyLevel::describe() const {
+  switch (level) {
+    case Level::kStrong:
+      return "strong";
+    case Level::kBoundedStaleness:
+      return "bounded(" + std::to_string(max_versions) + "v," +
+             std::to_string(max_age / 1000) + "ms)";
+    case Level::kEventualNearest:
+      return "eventual-nearest";
+    case Level::kQuorum:
+      return quorum_r == 0 ? std::string("quorum(majority)")
+                           : "quorum(" + std::to_string(quorum_r) + ")";
+  }
+  return "?";
+}
+
+}  // namespace idea::client

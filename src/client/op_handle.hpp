@@ -1,0 +1,92 @@
+#pragma once
+/// \file op_handle.hpp
+/// \brief Async completion handle for session operations.
+///
+/// The replicas live in-process, so the data plane of an operation
+/// applies at issue time — but the *client* only observes completion
+/// after the routed round trips elapse on the simulator clock.  An
+/// OpHandle carries both timelines: value() is available immediately for
+/// code running "at the server" (tests, oracles), while done() and
+/// on_complete() speak the client's clock, which is what lets callers
+/// stop blocking on the simulator loop.  Handles are cheap shared
+/// references; copies observe the same operation.
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace idea::client {
+
+template <typename T>
+class OpHandle {
+ public:
+  OpHandle() = default;
+
+  OpHandle(sim::Simulator& sim, T value, SimDuration latency, bool ok)
+      : state_(std::make_shared<State>(
+            State{&sim, std::move(value), sim.now(), latency, ok})) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Whether the operation was accepted (write applied / read served).
+  /// An invalid (default-constructed) handle is not ok.
+  [[nodiscard]] bool ok() const { return valid() && state_->ok; }
+
+  [[nodiscard]] SimTime issued_at() const {
+    assert(valid());
+    return state_->issued_at;
+  }
+
+  /// Client-observed latency the routing implies (round trip to the
+  /// serving replica; slowest round trip of a quorum fan-out).
+  [[nodiscard]] SimDuration latency() const {
+    assert(valid());
+    return state_->latency;
+  }
+
+  [[nodiscard]] SimTime ready_at() const {
+    return issued_at() + latency();
+  }
+
+  /// Whether the simulator clock has passed the completion instant.
+  [[nodiscard]] bool done() const {
+    return valid() && state_->sim->now() >= ready_at();
+  }
+
+  [[nodiscard]] const T& value() const {
+    assert(valid());
+    return state_->value;
+  }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// Run `fn` when the operation completes on the simulator clock —
+  /// synchronously if it already has, else via a scheduled event.  The
+  /// callback receives this handle (keeping the state alive).
+  void on_complete(std::function<void(const OpHandle&)> fn) const {
+    assert(valid());
+    if (done()) {
+      fn(*this);
+      return;
+    }
+    state_->sim->schedule_at(ready_at(),
+                             [self = *this, fn = std::move(fn)] { fn(self); });
+  }
+
+ private:
+  struct State {
+    sim::Simulator* sim;
+    T value;
+    SimTime issued_at;
+    SimDuration latency;
+    bool ok;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace idea::client

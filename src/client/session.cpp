@@ -1,0 +1,58 @@
+#include "client/session.hpp"
+
+#include <utility>
+
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::client {
+
+ClientSession::ClientSession(shard::ShardedCluster& cluster,
+                             SessionOptions options)
+    : cluster_(cluster), options_(options) {}
+
+OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
+                                      double meta_delta) {
+  const bool applied =
+      cluster_.router().write(file, std::move(content), meta_delta);
+  const NodeId coordinator = cluster_.coordinator_endpoint(file);
+  applied ? ++stats_.puts : ++stats_.blocked_puts;
+  // The write acks from the coordinator: one round trip from the
+  // client's origin (the replication fan-out proceeds asynchronously),
+  // estimated by the router's distance model like every read.
+  const SimDuration latency =
+      coordinator == kNoNode
+          ? 0
+          : cluster_.router().rtt(options_.origin, coordinator);
+  return OpHandle<WriteAck>(cluster_.sim(), WriteAck{applied, coordinator},
+                            latency, applied);
+}
+
+OpHandle<ReadResult> ClientSession::read(FileId file) {
+  return read(file, options_.level);
+}
+
+OpHandle<ReadResult> ClientSession::read(FileId file,
+                                         const ConsistencyLevel& level) {
+  ReadResult result = cluster_.router().read(file, level, options_.origin);
+  const bool ok = result.ok();
+  ++stats_.reads;
+  if (result.escalated) ++stats_.escalated_reads;
+  stats_.staleness_versions_total += result.staleness_versions;
+  stats_.read_latency_total += result.latency;
+  const SimDuration latency = result.latency;
+  return OpHandle<ReadResult>(cluster_.sim(), std::move(result), latency, ok);
+}
+
+bool ClientSession::open(FileId file) {
+  return cluster_.router().open(file) != nullptr;
+}
+
+bool ClientSession::close(FileId file) {
+  return cluster_.router().close(file);
+}
+
+double ClientSession::level(FileId file) const {
+  return cluster_.router().level(file);
+}
+
+}  // namespace idea::client

@@ -1,0 +1,129 @@
+#pragma once
+/// \file session.hpp
+/// \brief ClientSession — the application-facing surface of the sharded
+///        cluster.
+///
+/// Sessions replace the old ShardRouter front door.  A session is opened
+/// against a ShardedCluster with a declared ConsistencyLevel and an
+/// origin endpoint (where the client attaches); every operation funnels
+/// through the cluster's RequestRouter, which owns replica selection:
+///
+///   Client client(cluster);
+///   ClientSession s =
+///       client.session({.level = ConsistencyLevel::quorum(), .origin = 3});
+///   s.put(file, "stroke", 1.0);
+///   auto read = s.read(file);                 // declared level
+///   auto strong = s.read(file, ConsistencyLevel::strong());  // override
+///
+/// Reads and writes return OpHandles: the value is computed at issue
+/// time (in-process replicas), completion follows the routed round trips
+/// on the simulator clock, so callers chain on_complete() instead of
+/// blocking on the loop.
+
+#include <cstdint>
+#include <string>
+
+#include "client/consistency.hpp"
+#include "client/op_handle.hpp"
+#include "util/ids.hpp"
+
+namespace idea::shard {
+class ShardedCluster;
+}
+
+namespace idea::client {
+
+struct SessionOptions {
+  /// Declared consistency for this session's reads (per-op overridable).
+  ConsistencyLevel level = ConsistencyLevel::strong();
+  /// Endpoint the client attaches at — the latency model measures
+  /// replica distance from here.  kNoNode models a client co-located
+  /// with whatever endpoint serves it.
+  NodeId origin = kNoNode;
+};
+
+/// Ack of one routed write.
+struct WriteAck {
+  bool applied = false;  ///< false: resolution blocked the write.
+  NodeId coordinator = kNoNode;
+};
+
+struct SessionStats {
+  std::uint64_t puts = 0;
+  std::uint64_t blocked_puts = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t escalated_reads = 0;
+  /// Sum of per-read observed staleness (versions behind coordinator),
+  /// for mean-staleness reporting.
+  std::uint64_t staleness_versions_total = 0;
+  SimDuration read_latency_total = 0;
+};
+
+class ClientSession {
+ public:
+  ClientSession(shard::ShardedCluster& cluster, SessionOptions options);
+
+  ClientSession(ClientSession&&) = default;
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Route a write to the file's coordinator (writes are always strong:
+  /// they ack once the coordinator applied and began replicating).
+  OpHandle<WriteAck> put(FileId file, std::string content,
+                         double meta_delta = 0.0);
+
+  /// Route a read under the session's declared consistency level.
+  OpHandle<ReadResult> read(FileId file);
+
+  /// Route a read under a per-operation override level.
+  OpHandle<ReadResult> read(FileId file, const ConsistencyLevel& level);
+
+  /// Ensure the file is placed on its replica group (idempotent).
+  bool open(FileId file);
+
+  /// Close the file cluster-wide.  Returns whether it was open.
+  bool close(FileId file);
+
+  /// The consistency level IDEA currently attaches to the file's
+  /// coordinator replica (1.0 for files never opened).
+  [[nodiscard]] double level(FileId file) const;
+
+  [[nodiscard]] const SessionOptions& options() const { return options_; }
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  [[nodiscard]] shard::ShardedCluster& cluster() { return cluster_; }
+
+ private:
+  shard::ShardedCluster& cluster_;
+  SessionOptions options_;
+  SessionStats stats_;
+};
+
+/// Unified entry point (`idea::client::Client`): opens sessions against
+/// one sharded cluster.  Apps, examples and benches construct a Client
+/// and talk sessions; nothing outside the shard layer touches the
+/// router or the cluster's per-endpoint services for data-path work.
+class Client {
+ public:
+  explicit Client(shard::ShardedCluster& cluster) : cluster_(cluster) {}
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Open a session.  Sessions are independent; open as many as there
+  /// are logical clients (e.g. one per scripted workload client).
+  [[nodiscard]] ClientSession session(SessionOptions options = {}) {
+    ++sessions_opened_;
+    return ClientSession(cluster_, options);
+  }
+
+  [[nodiscard]] shard::ShardedCluster& cluster() { return cluster_; }
+  [[nodiscard]] std::uint64_t sessions_opened() const {
+    return sessions_opened_;
+  }
+
+ private:
+  shard::ShardedCluster& cluster_;
+  std::uint64_t sessions_opened_ = 0;
+};
+
+}  // namespace idea::client

@@ -95,6 +95,12 @@ std::vector<replica::Update> IdeaNode::read(bool trigger_detection) {
   return store_.ordered_contents();
 }
 
+std::shared_ptr<const std::vector<replica::Update>> IdeaNode::read_view(
+    bool trigger_detection) {
+  if (trigger_detection) probe();
+  return store_.contents_snapshot();
+}
+
 void IdeaNode::note_replica_activity() {
   const SimTime now = transport_.now();
   temperature_.record_update(file_, now);

@@ -119,6 +119,13 @@ class IdeaNode {
   [[nodiscard]] std::vector<replica::Update> read(
       bool trigger_detection = false);
 
+  /// Zero-copy read: a shared immutable canonical-order view of the
+  /// replica (ReplicaStore::contents_snapshot).  The session read path
+  /// serves gets from this, so fan-out reads share one allocation
+  /// instead of copying the log per get.
+  [[nodiscard]] std::shared_ptr<const std::vector<replica::Update>>
+  read_view(bool trigger_detection = false);
+
   /// Record hosting activity for temperature purposes without issuing a
   /// write.  Sharded replicas call this when they ingest a replicated
   /// update: the whole replica group then stays hot and surfaces as the

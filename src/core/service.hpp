@@ -90,6 +90,16 @@ class IdeaService final : public net::MessageHandler {
     return it == files_.end() ? nullptr : it->second.node.get();
   }
 
+  /// Zero-copy read hook: the file's canonical contents as a shared
+  /// immutable view (IdeaNode::read_view), or nullptr when the file is
+  /// not open here.  The client session read path funnels through this
+  /// instead of copying the log per get.
+  [[nodiscard]] std::shared_ptr<const std::vector<replica::Update>>
+  read_view(FileId file) {
+    IdeaNode* node = find(file);
+    return node == nullptr ? nullptr : node->read_view();
+  }
+
   [[nodiscard]] std::size_t open_files() const { return files_.size(); }
   [[nodiscard]] NodeId id() const { return self_; }
 

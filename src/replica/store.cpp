@@ -77,6 +77,20 @@ std::vector<Update> ReplicaStore::updates_ahead_of(
   return out;
 }
 
+ReplicaStore::StalenessProbe ReplicaStore::staleness_ahead_of(
+    const vv::VersionVector& peer_counts) const {
+  StalenessProbe probe;
+  for (const auto& [key, u] : log_) {
+    if (key.seq > peer_counts.get(key.writer)) {
+      if (probe.versions == 0 || u.stamp < probe.oldest_stamp) {
+        probe.oldest_stamp = u.stamp;
+      }
+      ++probe.versions;
+    }
+  }
+  return probe;
+}
+
 std::vector<Update> ReplicaStore::export_log() const {
   std::vector<Update> out;
   out.reserve(log_.size());
@@ -172,8 +186,9 @@ void ReplicaStore::recompute_meta() {
   }
   evv_.set_meta(meta);
   // Every content mutation funnels through here; drop the shared message
-  // snapshot so the next send sees the new state.
+  // and read-view snapshots so the next send/read sees the new state.
   snapshot_.reset();
+  contents_snapshot_.reset();
 }
 
 }  // namespace idea::replica

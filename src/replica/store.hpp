@@ -52,6 +52,17 @@ class ReplicaStore {
   [[nodiscard]] std::vector<Update> updates_ahead_of(
       const vv::VersionVector& peer_counts) const;
 
+  /// How far a peer at `peer_counts` lags this replica: number of updates
+  /// it is missing and the stamp of the oldest one.  Counts in place — no
+  /// update copies — so the read router can probe staleness per routed
+  /// read without touching contents.
+  struct StalenessProbe {
+    std::uint64_t versions = 0;
+    SimTime oldest_stamp = 0;  ///< Meaningless when versions == 0.
+  };
+  [[nodiscard]] StalenessProbe staleness_ahead_of(
+      const vv::VersionVector& peer_counts) const;
+
   /// The full applied log as a flat batch, in (writer, seq) order — the
   /// state a migration streams to a file's new replica group.  Carries
   /// invalidation flags, so the importer reproduces the meta value too.
@@ -101,6 +112,19 @@ class ReplicaStore {
   /// Updates in canonical display order (what a reader sees).
   [[nodiscard]] std::vector<Update> ordered_contents() const;
 
+  /// Shared immutable canonical-order view of the contents for zero-copy
+  /// reads: every get between two replica mutations refcounts one
+  /// allocation instead of copying the whole log.  Rebuilt lazily after
+  /// any content mutation (updates, invalidation, rollback).
+  [[nodiscard]] const std::shared_ptr<const std::vector<Update>>&
+  contents_snapshot() const {
+    if (contents_snapshot_ == nullptr) {
+      contents_snapshot_ =
+          std::make_shared<const std::vector<Update>>(ordered_contents());
+    }
+    return contents_snapshot_;
+  }
+
   /// Read-only view of the raw update log, keyed by (writer, seq) — not
   /// canonical order.  Lets scans (e.g. a kv lookup for one key) walk the
   /// log in place instead of copying every update.
@@ -128,6 +152,7 @@ class ReplicaStore {
   std::map<UpdateKey, Update> pending_;  ///< Reorder buffer.
   vv::ExtendedVersionVector evv_;
   mutable std::shared_ptr<const vv::ExtendedVersionVector> snapshot_;
+  mutable std::shared_ptr<const std::vector<Update>> contents_snapshot_;
 };
 
 }  // namespace idea::replica

@@ -6,28 +6,34 @@ namespace idea::shard {
 
 HashRing::HashRing(HashRingParams params) : params_(params) {}
 
-std::uint64_t HashRing::point_hash(NodeId node, std::uint32_t vnode) const {
+std::uint64_t HashRing::point_hash(NodeId node, std::uint32_t vnode,
+                                   std::uint32_t incarnation) const {
   // Double mixing decorrelates the (node, vnode) lattice; a single mix64
   // over the packed pair leaves visible stripes for small vnode counts.
-  return mix64(params_.seed ^
-               mix64((static_cast<std::uint64_t>(node) << 32) | vnode));
+  // Incarnation 0 must hash exactly as the pre-incarnation ring did, so
+  // the salt only folds in for reused ids.
+  std::uint64_t seed = params_.seed;
+  if (incarnation != 0) seed ^= mix64(0x14CA'0000ULL + incarnation);
+  return mix64(seed ^ mix64((static_cast<std::uint64_t>(node) << 32) | vnode));
 }
 
 std::uint64_t HashRing::key_hash(FileId file) const {
   return mix64(params_.seed ^ (0xF17EULL << 32) ^ file);
 }
 
-void HashRing::add_node(NodeId node) {
+void HashRing::add_node(NodeId node, std::uint32_t incarnation) {
   if (!nodes_.insert(node).second) return;
+  if (incarnation != 0) incarnations_[node] = incarnation;
   for (std::uint32_t v = 0; v < params_.vnodes_per_node; ++v) {
     // Collisions across 64 bits are vanishingly rare; keep the first owner
     // so add/remove of another node can never silently reassign a point.
-    ring_.emplace(point_hash(node, v), node);
+    ring_.emplace(point_hash(node, v, incarnation), node);
   }
 }
 
 bool HashRing::remove_node(NodeId node) {
   if (nodes_.erase(node) == 0) return false;
+  incarnations_.erase(node);
   for (auto it = ring_.begin(); it != ring_.end();) {
     it = it->second == node ? ring_.erase(it) : std::next(it);
   }

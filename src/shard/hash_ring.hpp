@@ -49,14 +49,30 @@ class HashRing {
  public:
   explicit HashRing(HashRingParams params = {});
 
-  /// Add an endpoint's virtual nodes to the ring.  Idempotent.
-  void add_node(NodeId node);
+  /// Add an endpoint's virtual nodes to the ring.  Idempotent (a present
+  /// node is left unchanged, whatever incarnation it joined with).
+  ///
+  /// `incarnation` distinguishes successive lives of a *reused* endpoint
+  /// id: a long-lived cluster recycles the ids of removed endpoints
+  /// (ShardedCluster keeps the free-list), and each re-add bumps the
+  /// incarnation so the new life gets its own vnode positions — placement
+  /// decisions can never alias a dead incarnation's.  Incarnation 0
+  /// hashes exactly as the pre-incarnation ring did, keeping fixed-seed
+  /// placements of never-reusing deployments byte-identical.
+  void add_node(NodeId node, std::uint32_t incarnation = 0);
 
   /// Remove an endpoint.  Returns false if it was not on the ring.
   bool remove_node(NodeId node);
 
   [[nodiscard]] bool contains(NodeId node) const {
     return nodes_.count(node) > 0;
+  }
+
+  /// The incarnation `node` currently lives on the ring with (0 if absent
+  /// or never re-added).
+  [[nodiscard]] std::uint32_t incarnation_of(NodeId node) const {
+    auto it = incarnations_.find(node);
+    return it == incarnations_.end() ? 0 : it->second;
   }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const std::set<NodeId>& nodes() const { return nodes_; }
@@ -86,13 +102,15 @@ class HashRing {
   [[nodiscard]] const HashRingParams& params() const { return params_; }
 
  private:
-  [[nodiscard]] std::uint64_t point_hash(NodeId node,
-                                         std::uint32_t vnode) const;
+  [[nodiscard]] std::uint64_t point_hash(NodeId node, std::uint32_t vnode,
+                                         std::uint32_t incarnation) const;
   [[nodiscard]] std::uint64_t key_hash(FileId file) const;
 
   HashRingParams params_;
   std::map<std::uint64_t, NodeId> ring_;  ///< point -> owning endpoint
   std::set<NodeId> nodes_;
+  /// Nonzero incarnations of present nodes (reused ids only).
+  std::map<NodeId, std::uint32_t> incarnations_;
 };
 
 }  // namespace idea::shard

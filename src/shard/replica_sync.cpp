@@ -181,6 +181,7 @@ void ReplicaSyncAgent::on_message(const net::Message& msg) {
   if (msg.type == kDigestType) {
     ++stats_.digests_received;
     const auto& peer_evv = msg.payload.as<vv::ExtendedVersionVector>();
+    if (on_freshness_) on_freshness_(msg.from, peer_evv.counts().total());
     // Always reply, even with nothing to offer: the initiator needs our
     // counts to push back the other half of the delta.
     send_repair(msg.from,
@@ -190,6 +191,7 @@ void ReplicaSyncAgent::on_message(const net::Message& msg) {
   }
   if (msg.type == kRepairType) {
     const auto& body = msg.payload.as<RepairPayload>();
+    if (on_freshness_) on_freshness_(msg.from, body.sender_counts.total());
     apply_batch(body.updates, stats_.repair_updates_applied);
     for (const replica::UpdateKey& key : body.invalidated) {
       const replica::Update* held = node_.store().find(key);

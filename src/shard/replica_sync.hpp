@@ -29,6 +29,7 @@
 ///    file to a new replica group, the new coordinator adopts the merged
 ///    log and streams it to the other ranks as one batch message each.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -100,6 +101,17 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   /// so tests and benches can count rounds-to-convergence exactly).
   void anti_entropy_round();
 
+  /// Observer for peer version counts learned from the digest/repair
+  /// exchange: called as (peer_rank, peer_total_versions) whenever a
+  /// digest or repair reveals how much a peer holds.  The shard layer
+  /// uses this to piggyback per-replica freshness hints to the request
+  /// router without any extra messages.
+  using FreshnessListener =
+      std::function<void(NodeId peer_rank, std::uint64_t versions)>;
+  void set_freshness_listener(FreshnessListener fn) {
+    on_freshness_ = std::move(fn);
+  }
+
   /// Stream a full state batch to every other rank as "shard.migrate"
   /// messages sharing one payload allocation.  Used by the cluster after
   /// seeding this (coordinator) replica's store during migration; returns
@@ -132,6 +144,7 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   ReplicaSyncStats stats_;
   std::uint64_t anti_entropy_timer_ = 0;
   std::uint32_t ae_rotation_ = 0;  ///< Round-robin peer cursor.
+  FreshnessListener on_freshness_;
 };
 
 }  // namespace idea::shard

@@ -1,0 +1,344 @@
+#include "shard/request_router.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/idea_node.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::shard {
+
+std::vector<NodeId> RequestRouter::group_of(FileId file) const {
+  return cluster_.group_of(file);
+}
+
+NodeId RequestRouter::coordinator_of(FileId file) const {
+  return cluster_.coordinator_endpoint(file);
+}
+
+core::IdeaNode* RequestRouter::open(FileId file) {
+  const std::size_t before = cluster_.placed_files();
+  core::IdeaNode* coordinator = cluster_.ensure_open(file);
+  if (coordinator != nullptr && cluster_.placed_files() > before) {
+    ++stats_.opens;
+  }
+  return coordinator;
+}
+
+bool RequestRouter::write(FileId file, std::string content,
+                          double meta_delta) {
+  if (open(file) == nullptr) return false;
+  const auto [agent, endpoint] = cluster_.coordinator(file);
+  if (agent == nullptr) return false;
+  ++stats_.coordinator_ops[endpoint];
+  if (!agent->put(std::move(content), meta_delta)) {
+    ++stats_.blocked_writes;
+    return false;
+  }
+  ++stats_.writes;
+  return true;
+}
+
+double RequestRouter::level(FileId file) const {
+  if (!cluster_.is_placed(file)) return 1.0;
+  core::IdeaNode* coordinator = cluster_.replica_at_rank(file, 0);
+  return coordinator == nullptr ? 1.0 : coordinator->current_level();
+}
+
+bool RequestRouter::close(FileId file) {
+  // close_file() drops this router's per-file state (hints, migration
+  // window) as part of the teardown.
+  const bool closed = cluster_.close_file(file);
+  if (closed) ++stats_.closes;
+  return closed;
+}
+
+SimDuration RequestRouter::rtt(NodeId origin, NodeId endpoint) const {
+  // A client with no declared origin is modeled as co-located with the
+  // endpoint it talks to.
+  if (origin == kNoNode) origin = endpoint;
+  return 2 * cluster_.latency().mean(origin, endpoint);
+}
+
+void RequestRouter::note_freshness(FileId file, NodeId endpoint,
+                                   std::uint64_t versions, SimTime at) {
+  Freshness& f = hints_[file][endpoint];
+  // Hints may arrive out of order (digest vs repair of the same round);
+  // versions are monotone per replica, so keep the maximum.
+  if (versions >= f.versions) f = Freshness{versions, at};
+  ++stats_.freshness_hints;
+}
+
+std::uint64_t RequestRouter::freshness_hint(FileId file,
+                                            NodeId endpoint) const {
+  const Freshness* f = find_hint(file, endpoint);
+  return f == nullptr ? 0 : f->versions;
+}
+
+const RequestRouter::Freshness* RequestRouter::find_hint(
+    FileId file, NodeId endpoint) const {
+  auto fit = hints_.find(file);
+  if (fit == hints_.end()) return nullptr;
+  auto eit = fit->second.find(endpoint);
+  return eit == fit->second.end() ? nullptr : &eit->second;
+}
+
+void RequestRouter::note_migration(FileId file, SimTime window_end) {
+  migration_until_[file] = window_end;
+}
+
+bool RequestRouter::in_migration_window(FileId file) const {
+  auto it = migration_until_.find(file);
+  return it != migration_until_.end() && cluster_.sim().now() < it->second;
+}
+
+void RequestRouter::forget_file(FileId file) {
+  hints_.erase(file);
+  migration_until_.erase(file);
+}
+
+NodeId RequestRouter::pick_replica(FileId file,
+                                   const std::vector<NodeId>& members,
+                                   NodeId origin, bool use_hints) const {
+  // Selection key: (estimated versions behind, RTT, rank).  The lag
+  // estimate comes from anti-entropy freshness hints and defaults to 0
+  // when nothing was hinted yet — optimistic, but safe: the bounded
+  // staleness serve path re-checks the bound exactly.
+  std::uint64_t coordinator_total = 0;
+  if (use_hints) {
+    core::IdeaNode* coordinator = cluster_.replica_at_rank(file, 0);
+    if (coordinator != nullptr) {
+      coordinator_total = coordinator->store().evv().counts().total();
+    }
+  }
+  NodeId best = members.front();
+  std::tuple<std::uint64_t, SimDuration, std::uint32_t> best_key{
+      UINT64_MAX, 0, 0};
+  for (std::uint32_t rank = 0; rank < members.size(); ++rank) {
+    const NodeId endpoint = members[rank];
+    std::uint64_t lag = 0;
+    if (use_hints && rank != 0) {
+      // A replica nobody has hinted about yet stays at lag 0 (optimistic
+      // — the serve path's exact bound check is the safety net); a
+      // hinted one is ranked by how far behind its last digest showed it.
+      const Freshness* hint = find_hint(file, endpoint);
+      if (hint != nullptr && coordinator_total > hint->versions) {
+        lag = coordinator_total - hint->versions;
+      }
+    }
+    const std::tuple<std::uint64_t, SimDuration, std::uint32_t> key{
+        lag, rtt(origin, endpoint), rank};
+    if (key < best_key) {
+      best_key = key;
+      best = endpoint;
+    }
+  }
+  return best;
+}
+
+void RequestRouter::measure_staleness(core::IdeaNode& coordinator,
+                                      core::IdeaNode& replica,
+                                      std::uint64_t& versions,
+                                      SimDuration& age) const {
+  const replica::ReplicaStore::StalenessProbe probe =
+      coordinator.store().staleness_ahead_of(replica.store().evv().counts());
+  versions = probe.versions;
+  age = 0;
+  if (probe.versions > 0) {
+    const SimTime now = cluster_.sim().now();
+    age = now > probe.oldest_stamp ? now - probe.oldest_stamp : 0;
+  }
+}
+
+client::ReadResult RequestRouter::serve_single(FileId file, NodeId endpoint,
+                                               NodeId origin) {
+  client::ReadResult res;
+  core::IdeaNode* node = cluster_.replica(file, endpoint);
+  if (node == nullptr) return res;
+  res.updates = node->read_view();
+  res.served_by = endpoint;
+  res.replicas_contacted = 1;
+  res.latency = rtt(origin, endpoint);
+  ++stats_.reads_served_by[endpoint];
+  return res;
+}
+
+client::ReadResult RequestRouter::serve_quorum(
+    FileId file, const std::vector<NodeId>& members, NodeId origin,
+    std::uint32_t r) {
+  // Fan out to the coordinator plus the r-1 nearest other replicas: the
+  // write path acks at the coordinator (W = 1), so including it keeps
+  // R ∩ W nonempty and the merged view can never miss an acked write.
+  std::vector<NodeId> targets{members.front()};
+  std::vector<NodeId> others(members.begin() + 1, members.end());
+  std::stable_sort(others.begin(), others.end(),
+                   [&](NodeId a, NodeId b) {
+                     return rtt(origin, a) < rtt(origin, b);
+                   });
+  for (NodeId e : others) {
+    if (targets.size() >= r) break;
+    targets.push_back(e);
+  }
+
+  client::ReadResult res;
+  std::vector<core::IdeaNode*> nodes;
+  nodes.reserve(targets.size());
+  SimDuration slowest = 0;
+  NodeId freshest = targets.front();
+  std::uint64_t freshest_total = 0;
+  for (NodeId e : targets) {
+    core::IdeaNode* node = cluster_.replica(file, e);
+    if (node == nullptr) continue;
+    nodes.push_back(node);
+    slowest = std::max(slowest, rtt(origin, e));
+    const std::uint64_t total = node->store().evv().counts().total();
+    if (total > freshest_total) {
+      freshest_total = total;
+      freshest = e;
+    }
+  }
+  if (nodes.empty()) return res;
+
+  // Fast path: the coordinator dominates every contacted replica (the
+  // steady state under push replication) — its snapshot IS the merge,
+  // shared zero-copy.  Otherwise union the logs, OR-ing invalidation
+  // flags, and render canonically.
+  core::IdeaNode* coordinator = nodes.front();
+  bool coordinator_dominates = true;
+  for (core::IdeaNode* node : nodes) {
+    if (!coordinator->store().evv().counts().dominates(
+            node->store().evv().counts())) {
+      coordinator_dominates = false;
+      break;
+    }
+  }
+  // Version counts cannot see invalidation (the update stays in the
+  // log), so a contacted replica may know an update is invalidated
+  // while the dominating coordinator still shows it live — the exact
+  // divergence anti-entropy repair exists to heal.  Such a flag must
+  // reach the merged view, so it forces the slow path.
+  if (coordinator_dominates) {
+    for (std::size_t i = 1; i < nodes.size() && coordinator_dominates;
+         ++i) {
+      for (const auto& [key, u] : nodes[i]->store().log()) {
+        if (!u.invalidated) continue;
+        const replica::Update* held = coordinator->store().find(key);
+        if (held == nullptr || !held->invalidated) {
+          coordinator_dominates = false;
+          break;
+        }
+      }
+    }
+  }
+  if (coordinator_dominates) {
+    res.updates = coordinator->read_view();
+    res.served_by = targets.front();
+  } else {
+    std::map<replica::UpdateKey, replica::Update> merged;
+    for (core::IdeaNode* node : nodes) {
+      for (const auto& [key, u] : node->store().log()) {
+        auto [it, inserted] = merged.emplace(key, u);
+        if (!inserted && u.invalidated) it->second.invalidated = true;
+      }
+    }
+    auto out = std::make_shared<std::vector<replica::Update>>();
+    out->reserve(merged.size());
+    for (auto& [key, u] : merged) out->push_back(std::move(u));
+    std::sort(out->begin(), out->end(), replica::CanonicalOrder{});
+    res.updates = std::move(out);
+    res.served_by = freshest;
+  }
+  res.replicas_contacted = static_cast<std::uint32_t>(nodes.size());
+  res.latency = slowest;
+  // The merge covers the coordinator, so the returned view never lags
+  // it: staleness is 0 by construction.
+  for (NodeId e : targets) ++stats_.reads_served_by[e];
+  return res;
+}
+
+client::ReadResult RequestRouter::read(FileId file,
+                                       const client::ConsistencyLevel& level,
+                                       NodeId origin) {
+  core::IdeaNode* coordinator = open(file);
+  if (coordinator == nullptr) return {};
+  const std::vector<NodeId>* members = cluster_.members_of(file);
+  if (members == nullptr || members->empty()) return {};
+  const NodeId coord_ep = members->front();
+  ++stats_.reads;
+
+  switch (level.level) {
+    case client::Level::kStrong: {
+      ++stats_.strong_reads;
+      ++stats_.coordinator_ops[coord_ep];
+      return serve_single(file, coord_ep, origin);
+    }
+
+    case client::Level::kEventualNearest: {
+      ++stats_.nearest_reads;
+      if (in_migration_window(file)) {
+        ++stats_.migration_window_reads;
+        client::ReadResult res = serve_single(file, coord_ep, origin);
+        res.migration_window = true;
+        return res;
+      }
+      const NodeId target =
+          pick_replica(file, *members, origin, /*use_hints=*/false);
+      client::ReadResult res = serve_single(file, target, origin);
+      if (target != coord_ep) {
+        core::IdeaNode* node = cluster_.replica(file, target);
+        measure_staleness(*coordinator, *node, res.staleness_versions,
+                          res.staleness_age);
+      }
+      return res;
+    }
+
+    case client::Level::kBoundedStaleness: {
+      ++stats_.bounded_reads;
+      if (in_migration_window(file)) {
+        ++stats_.migration_window_reads;
+        client::ReadResult res = serve_single(file, coord_ep, origin);
+        res.migration_window = true;
+        return res;
+      }
+      const NodeId candidate =
+          pick_replica(file, *members, origin, /*use_hints=*/true);
+      if (candidate == coord_ep) {
+        ++stats_.coordinator_ops[coord_ep];
+        return serve_single(file, coord_ep, origin);
+      }
+      core::IdeaNode* node = cluster_.replica(file, candidate);
+      std::uint64_t versions = 0;
+      SimDuration age = 0;
+      measure_staleness(*coordinator, *node, versions, age);
+      if (versions > level.max_versions ||
+          (level.max_age > 0 && age > level.max_age)) {
+        // Bound exceeded: escalate.  The client pays for the failed
+        // probe plus the coordinator round trip.
+        ++stats_.bounded_escalations;
+        ++stats_.coordinator_ops[coord_ep];
+        client::ReadResult res = serve_single(file, coord_ep, origin);
+        res.latency += rtt(origin, candidate);
+        res.escalated = true;
+        return res;
+      }
+      client::ReadResult res = serve_single(file, candidate, origin);
+      res.staleness_versions = versions;
+      res.staleness_age = age;
+      return res;
+    }
+
+    case client::Level::kQuorum: {
+      ++stats_.quorum_reads;
+      const auto k = static_cast<std::uint32_t>(members->size());
+      std::uint32_t r = level.quorum_r == 0 ? k / 2 + 1 : level.quorum_r;
+      r = std::min(std::max<std::uint32_t>(r, 1), k);
+      ++stats_.coordinator_ops[coord_ep];
+      client::ReadResult res = serve_quorum(file, *members, origin, r);
+      res.migration_window = in_migration_window(file);
+      return res;
+    }
+  }
+  return {};
+}
+
+}  // namespace idea::shard

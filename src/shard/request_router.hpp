@@ -1,0 +1,186 @@
+#pragma once
+/// \file request_router.hpp
+/// \brief Policy-driven request routing: the single choke point between
+///        client sessions and the sharded cluster.
+///
+/// The old ShardRouter hard-wired every read to the file's coordinator.
+/// RequestRouter owns replica selection instead: a read arrives with a
+/// declared client::ConsistencyLevel and an origin endpoint, and the
+/// router decides which replica(s) serve it —
+///
+///  * Strong            — the coordinator, unconditionally;
+///  * EventualNearest   — the replica with the lowest latency-model RTT
+///                        from the client's origin;
+///  * BoundedStaleness  — a nearby replica picked with the help of the
+///                        freshness hints piggybacked on anti-entropy
+///                        digests, served only after an exact check that
+///                        it is within the declared TACT-style bound
+///                        (versions behind the coordinator, age of the
+///                        oldest missing update); otherwise the read
+///                        escalates to the coordinator;
+///  * Quorum            — fan out to r replicas (always including the
+///                        coordinator, since writes ack at W = 1), merge
+///                        their logs by version vector, return the
+///                        freshest view.
+///
+/// The router is migration-aware: while a file's post-migration state
+/// stream is still in flight, non-coordinator replicas of the new group
+/// are cold, so policy reads are pinned to the already-warm new
+/// coordinator until the window passes.
+///
+/// Writes still go to the file's coordinator (rank 0), whose
+/// ReplicaSyncAgent pushes the update to the rest of the group; that path
+/// is byte-identical to the old ShardRouter's, which is what keeps the
+/// fixed-seed determinism goldens valid.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "client/consistency.hpp"
+#include "replica/update.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace idea::core {
+class IdeaNode;
+}
+
+namespace idea::shard {
+
+class ShardedCluster;
+
+struct RouterStats {
+  std::uint64_t opens = 0;  ///< Placements created on demand.
+  std::uint64_t writes = 0;
+  std::uint64_t blocked_writes = 0;  ///< Writes refused mid-resolution.
+  std::uint64_t reads = 0;
+  std::uint64_t closes = 0;
+  // Per-policy read counts.
+  std::uint64_t strong_reads = 0;
+  std::uint64_t nearest_reads = 0;
+  std::uint64_t bounded_reads = 0;
+  std::uint64_t bounded_escalations = 0;  ///< Bound exceeded; coordinator.
+  std::uint64_t quorum_reads = 0;
+  std::uint64_t migration_window_reads = 0;  ///< Pinned to warm coordinator.
+  std::uint64_t freshness_hints = 0;  ///< Hint-table updates ingested.
+  /// Ops handled per coordinator endpoint (load-balance probe).
+  std::map<NodeId, std::uint64_t> coordinator_ops;
+  /// Reads served per endpoint (shows policy reads spreading off the
+  /// coordinators).
+  std::map<NodeId, std::uint64_t> reads_served_by;
+};
+
+class RequestRouter {
+ public:
+  explicit RequestRouter(ShardedCluster& cluster) : cluster_(cluster) {}
+
+  RequestRouter(const RequestRouter&) = delete;
+  RequestRouter& operator=(const RequestRouter&) = delete;
+
+  // ------------------------------------------------------------------
+  // Placement / lifecycle
+  // ------------------------------------------------------------------
+
+  /// The file's replica group (primary first) per the current ring.
+  [[nodiscard]] std::vector<NodeId> group_of(FileId file) const;
+
+  /// The endpoint coordinating the file (kNoNode on an empty ring).
+  [[nodiscard]] NodeId coordinator_of(FileId file) const;
+
+  /// Ensure the file is open on its whole replica group; returns the
+  /// coordinator's replica stack (nullptr on an empty ring).
+  core::IdeaNode* open(FileId file);
+
+  /// Close the file on every group member.  Returns whether it was open.
+  bool close(FileId file);
+
+  /// The consistency level the coordinator currently attaches to the
+  /// file; 1.0 for files that were never opened.
+  [[nodiscard]] double level(FileId file) const;
+
+  // ------------------------------------------------------------------
+  // Data path
+  // ------------------------------------------------------------------
+
+  /// Route a write to the file's coordinator, which replicates it to the
+  /// group.  Opens the file on first touch.
+  bool write(FileId file, std::string content, double meta_delta);
+
+  /// Route a read under `level` from a client attached at `origin`.
+  /// Returns an empty result (ok() == false) on an empty ring.
+  [[nodiscard]] client::ReadResult read(FileId file,
+                                        const client::ConsistencyLevel& level,
+                                        NodeId origin);
+
+  // ------------------------------------------------------------------
+  // Routing inputs (fed by the shard layer)
+  // ------------------------------------------------------------------
+
+  /// Ingest a freshness hint: `endpoint`'s replica of `file` was observed
+  /// holding `versions` total updates at `at` (piggybacked on the
+  /// anti-entropy digest/repair exchange).  Guides bounded-staleness
+  /// replica selection; the serve-time bound check stays exact.
+  void note_freshness(FileId file, NodeId endpoint, std::uint64_t versions,
+                      SimTime at);
+
+  /// Last hinted version count for (file, endpoint); 0 if never hinted.
+  [[nodiscard]] std::uint64_t freshness_hint(FileId file,
+                                             NodeId endpoint) const;
+
+  /// Mark the file as mid-migration until `window_end`: its new
+  /// non-coordinator replicas are cold while the state stream is in
+  /// flight, so policy reads pin to the new coordinator.
+  void note_migration(FileId file, SimTime window_end);
+
+  [[nodiscard]] bool in_migration_window(FileId file) const;
+
+  /// Drop per-file routing state (hints, migration window) on teardown.
+  void forget_file(FileId file);
+
+  /// Round-trip estimate between a client origin and an endpoint under
+  /// the cluster's latency model (mean, not sampled — routing must not
+  /// perturb the simulation's RNG streams).  kNoNode origins model a
+  /// client co-located with the endpoint it talks to.  Sessions use the
+  /// same estimate for write-ack completion, so read and write
+  /// latencies always speak the same distance model.
+  [[nodiscard]] SimDuration rtt(NodeId origin, NodeId endpoint) const;
+
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
+ private:
+  struct Freshness {
+    std::uint64_t versions = 0;
+    SimTime at = 0;
+  };
+
+  [[nodiscard]] const Freshness* find_hint(FileId file,
+                                           NodeId endpoint) const;
+
+  /// The policy's preferred serving replica among `members` (rank order,
+  /// coordinator first).  `use_hints` biases selection toward replicas
+  /// recently hinted fresh (bounded staleness); otherwise pure latency.
+  [[nodiscard]] NodeId pick_replica(FileId file,
+                                    const std::vector<NodeId>& members,
+                                    NodeId origin, bool use_hints) const;
+
+  /// Exact staleness of `endpoint`'s replica vs the coordinator at serve
+  /// time: versions behind, and the age of the oldest missing update.
+  void measure_staleness(core::IdeaNode& coordinator, core::IdeaNode& replica,
+                         std::uint64_t& versions, SimDuration& age) const;
+
+  [[nodiscard]] client::ReadResult serve_single(FileId file, NodeId endpoint,
+                                                NodeId origin);
+
+  [[nodiscard]] client::ReadResult serve_quorum(
+      FileId file, const std::vector<NodeId>& members, NodeId origin,
+      std::uint32_t r);
+
+  ShardedCluster& cluster_;
+  RouterStats stats_;
+  std::unordered_map<FileId, std::unordered_map<NodeId, Freshness>> hints_;
+  std::unordered_map<FileId, SimTime> migration_until_;
+};
+
+}  // namespace idea::shard

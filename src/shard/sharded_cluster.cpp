@@ -20,12 +20,13 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
                                                          config_.batch);
   }
   services_.reserve(config_.endpoints);
+  incarnations_.assign(config_.endpoints, 0);
   for (NodeId n = 0; n < config_.endpoints; ++n) {
     ring_.add_node(n);
     services_.push_back(std::make_unique<core::IdeaService>(
         n, edge(), mix64(config_.seed ^ (0x5E4D1CEULL + n))));
   }
-  router_ = std::make_unique<ShardRouter>(*this);
+  router_ = std::make_unique<RequestRouter>(*this);
 }
 
 ShardedCluster::~ShardedCluster() {
@@ -74,6 +75,18 @@ ShardedCluster::FileGroup& ShardedCluster::open_group(
     transport->set_sink(&node.dispatcher());
     group.sync.push_back(
         std::make_unique<ReplicaSyncAgent>(node, *transport, k));
+    // Freshness hints piggyback on the anti-entropy digest/repair
+    // exchange: whenever this rank learns a peer's version count, the
+    // router's per-(file, endpoint) hint table learns it too, feeding
+    // bounded-staleness replica selection.
+    group.sync.back()->set_freshness_listener(
+        [this, file, members = group.members](NodeId peer_rank,
+                                              std::uint64_t versions) {
+          if (router_ != nullptr && peer_rank < members.size()) {
+            router_->note_freshness(file, members[peer_rank], versions,
+                                    sim_.now());
+          }
+        });
     if (config_.anti_entropy_period > 0) {
       group.sync.back()->start_anti_entropy(config_.anti_entropy_period);
     }
@@ -103,17 +116,35 @@ core::IdeaNode* ShardedCluster::ensure_open(FileId file) {
 
 MembershipChange ShardedCluster::add_endpoint() {
   const HashRing before = ring_;
-  const auto id = static_cast<NodeId>(services_.size());
+  NodeId id;
+  std::uint32_t incarnation = 0;
+  if (!free_ids_.empty()) {
+    // Reuse the smallest freed id under a bumped incarnation: long-lived
+    // churn keeps the id space dense.  Stale traffic addressed to the old
+    // incarnation is already fenced — every group it belonged to was
+    // rebuilt under a new group epoch when it left.
+    id = *free_ids_.begin();
+    free_ids_.erase(free_ids_.begin());
+    incarnation = ++incarnations_[id];
+  } else {
+    id = static_cast<NodeId>(services_.size());
+    services_.push_back(nullptr);
+    incarnations_.push_back(0);
+  }
   // Grow the latency topology and the transport's per-node state first:
   // the new endpoint's IdeaService attaches to the transport immediately.
+  // (No-ops for a reused id — its coordinates and clock skew persist.)
   latency_->ensure_nodes(id + 1);
   sim_transport_->ensure_node(id);
-  ring_.add_node(id);
-  services_.push_back(std::make_unique<core::IdeaService>(
-      id, edge(), mix64(config_.seed ^ (0x5E4D1CEULL + id))));
+  ring_.add_node(id, incarnation);
+  services_[id] = std::make_unique<core::IdeaService>(
+      id, edge(),
+      mix64(config_.seed ^ (0x5E4D1CEULL + id) ^
+            (static_cast<std::uint64_t>(incarnation) << 40)));
 
   MembershipChange change;
   change.endpoint = id;
+  change.incarnation = incarnation;
   migrate_changed_groups(before, change);
   return change;
 }
@@ -122,6 +153,7 @@ MembershipChange ShardedCluster::remove_endpoint(NodeId endpoint) {
   MembershipChange change;
   if (!has_endpoint(endpoint) || !ring_.contains(endpoint)) return change;
   change.endpoint = endpoint;
+  change.incarnation = incarnations_[endpoint];
   const HashRing before = ring_;
   ring_.remove_node(endpoint);
   // Migrate while the leaving endpoint is still alive: its replicas are
@@ -129,6 +161,7 @@ MembershipChange ShardedCluster::remove_endpoint(NodeId endpoint) {
   // received yet).
   migrate_changed_groups(before, change);
   services_[endpoint].reset();  // detaches its transport slot
+  free_ids_.insert(endpoint);
   return change;
 }
 
@@ -181,12 +214,25 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     //    its writer-0 sequence so routed writes continue the old history),
     //    then streams it to the other ranks over the wire.
     FileGroup& group = open_group(file, std::move(members));
+    if (router_ != nullptr) router_->forget_file(file);
     if (!snapshot.empty()) {  // cold files have nothing to hand over
       core::IdeaNode* coordinator =
           services_[group.members.front()]->find(file);
       coordinator->store().import_log(snapshot);
       change.state_updates += snapshot.size();
       change.stream_messages += group.sync.front()->stream_state(snapshot);
+      // Until the stream lands, the other ranks of the new group are
+      // cold; tell the router so policy reads pin to the already-warm
+      // new coordinator for the window.  Two one-way trips (batching
+      // flush + delivery) plus slack bounds the in-flight time.
+      if (router_ != nullptr && group.members.size() > 1) {
+        SimDuration horizon = 0;
+        for (std::size_t rank = 1; rank < group.members.size(); ++rank) {
+          horizon = std::max(horizon, latency_->mean(group.members.front(),
+                                                     group.members[rank]));
+        }
+        router_->note_migration(file, sim_.now() + 2 * horizon + msec(100));
+      }
     }
     ++change.files_migrated;
   }
@@ -200,6 +246,7 @@ bool ShardedCluster::close_file(FileId file) {
   it->second.sync.clear();
   for (NodeId member : it->second.members) services_[member]->close(file);
   files_.erase(it);
+  if (router_ != nullptr) router_->forget_file(file);
   return true;
 }
 

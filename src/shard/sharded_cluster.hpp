@@ -26,6 +26,7 @@
 /// regular replication pushes lose.
 
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +36,7 @@
 #include "shard/group_transport.hpp"
 #include "shard/hash_ring.hpp"
 #include "shard/replica_sync.hpp"
-#include "shard/router.hpp"
+#include "shard/request_router.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 
@@ -69,6 +70,9 @@ struct ShardedClusterConfig {
 struct MembershipChange {
   NodeId endpoint = kNoNode;  ///< The joining/leaving endpoint (kNoNode if
                               ///< the call was a no-op).
+  /// The incarnation the endpoint joined with: 0 for a brand-new id,
+  /// n > 0 for the (n+1)-th life of a reused id.
+  std::uint32_t incarnation = 0;
   /// Ring-placement delta over the files that were placed at the time of
   /// the change; files_migrated must equal rebalance.group_changed.
   RebalanceStats rebalance;
@@ -86,9 +90,12 @@ class ShardedCluster {
   // Membership
   // ------------------------------------------------------------------
 
-  /// Stand up a new endpoint (next dense id), add it to the ring, and
-  /// migrate every placed file whose replica group the new points
-  /// intercept.  Migration is synchronous up to the streaming sends: when
+  /// Stand up a new endpoint, add it to the ring, and migrate every
+  /// placed file whose replica group the new points intercept.  The id
+  /// is the smallest free id when endpoints left before (reused with a
+  /// bumped incarnation, so a long-lived churning cluster's id space
+  /// stays dense instead of growing a hole per departure), else the next
+  /// dense id.  Migration is synchronous up to the streaming sends: when
   /// this returns, placements and coordinators reflect the new ring, new
   /// coordinators already hold full state, and non-coordinator ranks warm
   /// up as the in-flight "shard.migrate" batches deliver.
@@ -96,19 +103,31 @@ class ShardedCluster {
 
   /// Take an endpoint out of the ring, migrate its files to their new
   /// groups, then tear the endpoint down (its transport slot detaches and
-  /// in-flight traffic to it drops).  No-op if the endpoint is unknown or
+  /// in-flight traffic to it drops).  The id goes on the free-list for
+  /// the next add_endpoint().  No-op if the endpoint is unknown or
   /// already removed.
   MembershipChange remove_endpoint(NodeId endpoint);
 
   /// Whether `endpoint` is currently alive (constructed or added, and not
-  /// removed).  Endpoint ids are dense and never reused, so removed ids
-  /// stay holes.
+  /// removed).
   [[nodiscard]] bool has_endpoint(NodeId endpoint) const {
     return endpoint < services_.size() && services_[endpoint] != nullptr;
   }
 
   /// Ids of the live endpoints, ascending.
   [[nodiscard]] std::vector<NodeId> endpoints() const;
+
+  /// The incarnation `endpoint` is currently (or was last) alive with:
+  /// 0 for a first life, n for the (n+1)-th life of a reused id.  Stale-
+  /// incarnation traffic cannot reach a reused id's new service: every
+  /// group the old incarnation belonged to was rebuilt under a new group
+  /// epoch when it left, and GroupTransport fences on the epoch.
+  [[nodiscard]] std::uint32_t incarnation(NodeId endpoint) const {
+    return endpoint < incarnations_.size() ? incarnations_[endpoint] : 0;
+  }
+
+  /// Ids currently on the free-list awaiting reuse (diagnostics/tests).
+  [[nodiscard]] const std::set<NodeId>& free_ids() const { return free_ids_; }
 
   // ------------------------------------------------------------------
   // Placement
@@ -128,6 +147,14 @@ class ShardedCluster {
     return files_.count(file) > 0;
   }
   [[nodiscard]] std::size_t placed_files() const { return files_.size(); }
+
+  /// The placed file's current group members (rank order, coordinator
+  /// first) without a ring walk; nullptr when the file is not placed.
+  /// The vector stays valid until the file migrates or closes.
+  [[nodiscard]] const std::vector<NodeId>* members_of(FileId file) const {
+    auto it = files_.find(file);
+    return it == files_.end() ? nullptr : &it->second.members;
+  }
 
   /// The replica group the ring assigns `file` (primary first).
   [[nodiscard]] std::vector<NodeId> group_of(FileId file) const {
@@ -179,10 +206,14 @@ class ShardedCluster {
     return static_cast<std::uint32_t>(services_.size());
   }
 
-  [[nodiscard]] ShardRouter& router() { return *router_; }
+  /// The policy-driven request router every session operation funnels
+  /// through (replica selection, freshness hints, migration awareness).
+  [[nodiscard]] RequestRouter& router() { return *router_; }
   [[nodiscard]] HashRing& ring() { return ring_; }
   [[nodiscard]] const HashRing& ring() const { return ring_; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// The latency model — the router's replica-selection distance oracle.
+  [[nodiscard]] sim::PlanetLabLatency& latency() { return *latency_; }
   [[nodiscard]] const ShardedClusterConfig& config() const {
     return config_;
   }
@@ -242,7 +273,12 @@ class ShardedCluster {
   // IdeaNode destructors cancel timers through their GroupTransport.
   std::unordered_map<FileId, FileGroup> files_;
   std::vector<std::unique_ptr<core::IdeaService>> services_;
-  std::unique_ptr<ShardRouter> router_;
+  /// Per-slot incarnation counters, parallel to services_ (0 = first
+  /// life).  Bumped when add_endpoint() reuses an id off the free-list.
+  std::vector<std::uint32_t> incarnations_;
+  /// Ids of removed endpoints awaiting reuse, smallest first.
+  std::set<NodeId> free_ids_;
+  std::unique_ptr<RequestRouter> router_;
 };
 
 }  // namespace idea::shard

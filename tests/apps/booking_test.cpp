@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "shard/sharded_cluster.hpp"
+
 namespace idea::apps {
 namespace {
 
@@ -127,6 +129,39 @@ TEST(Booking, AuditFeedsControllerBounds) {
   const double after = cluster.node(1).controller().learned_min_freq();
   booking.audit(1);
   EXPECT_DOUBLE_EQ(cluster.node(1).controller().learned_min_freq(), after);
+}
+
+TEST(Booking, DesksRunOverSessionsAndStrongDesksNeverOversell) {
+  shard::ShardedClusterConfig cfg;
+  cfg.endpoints = 6;
+  cfg.replication = 3;
+  cfg.seed = 99;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{50, 50, 50};
+  cfg.idea.controller.mode = core::AdaptiveMode::kOnDemand;
+  cfg.idea.controller.hint = 0.0;
+  shard::ShardedCluster cluster(cfg);
+
+  BookingParams bp;
+  bp.capacity = 10;
+  const FileId flight = 1;
+  // Strong desks decide from the coordinator's view: they can never
+  // oversell, because every booking is visible before the next decision.
+  BookingDesks desks(cluster, flight, {0, 1, 3}, bp, 7,
+                     client::ConsistencyLevel::strong());
+  std::uint64_t attempts = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (NodeId d : desks.desks()) {
+      desks.try_book(d);
+      ++attempts;
+      cluster.run_for(msec(100));
+    }
+  }
+  EXPECT_GT(attempts, bp.capacity);
+  EXPECT_EQ(desks.sold(), bp.capacity);
+  EXPECT_EQ(desks.oversell_amount(), 0);
+  EXPECT_GT(desks.refused_sold_out(), 0u);
+  EXPECT_EQ(desks.seats_remaining_view(0), 0);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/workload.hpp"
+#include "shard/sharded_cluster.hpp"
 
 namespace idea::apps {
 namespace {
@@ -117,6 +118,40 @@ TEST(Whiteboard, SilentUserDoesNotComplain) {
   cluster.run_for(sec(10));
   EXPECT_GT(board.users()[0].times_annoyed, 0u);
   EXPECT_EQ(board.users()[0].times_complained, 0u);
+}
+
+TEST(Whiteboard, SharedBoardRunsOverSessions) {
+  // The sharded deployment: one board file on the ring, participants as
+  // client sessions attached at their own endpoints.
+  shard::ShardedClusterConfig cfg;
+  cfg.endpoints = 6;
+  cfg.replication = 3;
+  cfg.seed = 321;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{20, 20, 20};
+  cfg.idea.controller.mode = core::AdaptiveMode::kOnDemand;
+  cfg.idea.controller.hint = 0.0;
+  shard::ShardedCluster cluster(cfg);
+
+  const FileId board_file = 1;
+  SharedWhiteboard board(cluster, board_file, {0, 2, 5},
+                         client::ConsistencyLevel::eventual_nearest());
+  EXPECT_TRUE(board.post(0, "hello"));
+  EXPECT_TRUE(board.post(2, "world"));
+  cluster.run_for(sec(3));
+
+  // Every participant's routed view converged on the posted strokes.
+  EXPECT_TRUE(board.boards_match());
+  const auto v = board.view(5);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "hello");
+  EXPECT_EQ(v[1], "world");
+  // The routed read reports where it was served and at what cost.
+  const auto handle = board.read(5);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_NE(handle->served_by, kNoNode);
+  EXPECT_GT(handle->latency, 0);
+  EXPECT_GT(board.level(), 0.0);
 }
 
 }  // namespace

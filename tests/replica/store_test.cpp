@@ -67,6 +67,48 @@ TEST(ReplicaStore, UpdatesAheadOf) {
   EXPECT_EQ(ahead[1].key.seq, 3u);
 }
 
+TEST(ReplicaStore, StalenessAheadOfCountsWithoutCopying) {
+  ReplicaStore a(0, 1);
+  a.apply_local(sec(1), "1", 0);
+  a.apply_local(sec(2), "2", 0);
+  a.apply_local(sec(3), "3", 0);
+  vv::VersionVector peer;
+  peer.set(0, 1);
+  const auto probe = a.staleness_ahead_of(peer);
+  EXPECT_EQ(probe.versions, 2u);
+  EXPECT_EQ(probe.oldest_stamp, sec(2));  // oldest *missing* update
+  // A caught-up peer probes clean.
+  peer.set(0, 3);
+  EXPECT_EQ(a.staleness_ahead_of(peer).versions, 0u);
+  // The probe mirrors updates_ahead_of exactly, just without the copies.
+  vv::VersionVector empty;
+  EXPECT_EQ(a.staleness_ahead_of(empty).versions,
+            a.updates_ahead_of(empty).size());
+  EXPECT_EQ(a.staleness_ahead_of(empty).oldest_stamp, sec(1));
+}
+
+TEST(ReplicaStore, ContentsSnapshotIsSharedAndInvalidatedOnMutation) {
+  ReplicaStore s(0, 1);
+  s.apply_local(sec(1), "a", 1.0);
+  s.apply_local(sec(2), "b", 1.0);
+  const auto view = s.contents_snapshot();
+  ASSERT_EQ(view->size(), 2u);
+  EXPECT_EQ((*view)[0].content, "a");
+  // Stable between mutations: repeated reads share the allocation.
+  EXPECT_EQ(s.contents_snapshot().get(), view.get());
+  // Any content mutation rebuilds the next snapshot...
+  s.apply_local(sec(3), "c", 1.0);
+  const auto after = s.contents_snapshot();
+  EXPECT_NE(after.get(), view.get());
+  EXPECT_EQ(after->size(), 3u);
+  // ...while the old view stays valid for holders (immutable share).
+  EXPECT_EQ(view->size(), 2u);
+  // Invalidation also counts as a mutation (digest/meta change).
+  EXPECT_TRUE(s.invalidate(UpdateKey{0, 1}));
+  EXPECT_NE(s.contents_snapshot().get(), after.get());
+  EXPECT_TRUE((*s.contents_snapshot())[0].invalidated);
+}
+
 TEST(ReplicaStore, UpdatesAheadOfMultiWriterSorted) {
   ReplicaStore a(0, 1), b(1, 1);
   b.apply_local(sec(1), "b1", 0);

@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "client/session.hpp"
 #include "shard/sharded_cluster.hpp"
 
 namespace idea::shard {
@@ -88,13 +90,14 @@ TEST(AntiEntropyTest, LossWindowOverWritesHealsWithinBoundedRounds) {
     auto cluster =
         std::make_unique<ShardedCluster>(ae_config(2024, anti_entropy));
     cluster->ensure_open(kFile);
+    auto session = std::make_shared<client::ClientSession>(
+        *cluster, client::SessionOptions{});
     // 40 writes, 250 ms apart, from t=250ms; the window [2s, 4.5s) covers
     // the 10 writes at 2.0s..4.25s inclusive = 25%.
     for (int i = 1; i <= kWrites; ++i) {
       const SimTime t = msec(250) * i;
-      cluster->sim().schedule_at(t, [c = cluster.get(), i, kFile] {
-        ASSERT_TRUE(
-            c->router().write(kFile, "w" + std::to_string(i), 1.0));
+      cluster->sim().schedule_at(t, [session, i, kFile] {
+        ASSERT_TRUE(session->put(kFile, "w" + std::to_string(i), 1.0).ok());
       });
     }
     cluster->transport().add_drop_window(sec(2), sec(4) + msec(500));
@@ -145,10 +148,10 @@ TEST(AntiEntropyTest, IsolatedReplicaCatchesUpAfterHeal) {
   cluster.transport().partition(group[1], group[2]);
   ASSERT_TRUE(cluster.transport().partitioned(group[0], group[1]));
 
+  client::ClientSession session(cluster, {});
   for (int i = 0; i < 12; ++i) {
-    cluster.sim().schedule_at(msec(300) * (i + 1), [&cluster, i, kFile] {
-      ASSERT_TRUE(
-          cluster.router().write(kFile, "p" + std::to_string(i), 0.5));
+    cluster.sim().schedule_at(msec(300) * (i + 1), [&session, i, kFile] {
+      ASSERT_TRUE(session.put(kFile, "p" + std::to_string(i), 0.5).ok());
     });
   }
   cluster.run_until(sec(5));
@@ -174,7 +177,8 @@ TEST(AntiEntropyTest, DigestRepairFlowAndStats) {
     EXPECT_TRUE(cluster.sync_agent(kFile, rank)->anti_entropy_running());
   }
 
-  ASSERT_TRUE(cluster.router().write(kFile, "hello", 1.0));
+  client::ClientSession session(cluster, {});
+  ASSERT_TRUE(session.put(kFile, "hello", 1.0).ok());
   cluster.run_for(sec(3));
 
   std::uint64_t rounds = 0;
@@ -211,8 +215,9 @@ TEST(AntiEntropyTest, InvalidationFlagsPropagateThroughRepair) {
   constexpr FileId kFile = 11;
   ShardedCluster cluster(ae_config(808, /*anti_entropy=*/true));
   cluster.ensure_open(kFile);
+  client::ClientSession session(cluster, {});
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(cluster.router().write(kFile, "v" + std::to_string(i), 1.0));
+    ASSERT_TRUE(session.put(kFile, "v" + std::to_string(i), 1.0).ok());
   }
   cluster.run_for(sec(1));
   ASSERT_TRUE(replicas_identical(cluster, kFile));
@@ -244,7 +249,8 @@ TEST(AntiEntropyTest, DisabledByDefaultKeepsPushOnlyBehavior) {
   ShardedCluster cluster(ae_config(7, /*anti_entropy=*/false));
   cluster.ensure_open(1);
   EXPECT_FALSE(cluster.sync_agent(1, 0)->anti_entropy_running());
-  ASSERT_TRUE(cluster.router().write(1, "x", 1.0));
+  client::ClientSession session(cluster, {});
+  ASSERT_TRUE(session.put(1, "x", 1.0).ok());
   cluster.run_for(sec(3));
   EXPECT_EQ(cluster.batching()->counters().messages_of("shard.digest"), 0u);
   EXPECT_TRUE(replicas_identical(cluster, 1));  // pushes alone suffice

@@ -163,5 +163,48 @@ TEST(HashRingTest, GroupRebalanceBoundedOnLeave) {
   }
 }
 
+TEST(HashRingTest, IncarnationsGiveReusedIdsFreshPlacement) {
+  // Incarnation 0 must hash exactly as before incarnations existed, so a
+  // ring that never reuses ids is byte-identical to the old behavior.
+  HashRing plain = ring_of(8);
+  HashRing inc0;
+  for (NodeId n = 0; n < 8; ++n) inc0.add_node(n, 0);
+  const std::vector<FileId> keys = keyset(4000);
+  for (FileId f : keys) {
+    ASSERT_EQ(plain.replicas(f, 3), inc0.replicas(f, 3));
+  }
+  EXPECT_EQ(plain.incarnation_of(3), 0u);
+
+  // A reused id under a bumped incarnation owns different vnode points,
+  // so a dead incarnation's placement decisions can never alias the new
+  // life's.
+  HashRing reused = ring_of(8);
+  reused.remove_node(3);
+  reused.add_node(3, 1);
+  EXPECT_EQ(reused.incarnation_of(3), 1u);
+  EXPECT_EQ(reused.node_count(), 8u);
+  std::size_t diverged = 0;
+  for (FileId f : keys) {
+    if (reused.replicas(f, 3) != plain.replicas(f, 3)) ++diverged;
+  }
+  EXPECT_GT(diverged, 0u) << "incarnation salt had no effect on placement";
+  // ...but only groups that touch the reincarnated id can differ.
+  for (FileId f : keys) {
+    const std::vector<NodeId> old_group = plain.replicas(f, 3);
+    const std::vector<NodeId> new_group = reused.replicas(f, 3);
+    if (old_group != new_group) {
+      const bool involves3 =
+          std::find(old_group.begin(), old_group.end(), NodeId{3}) !=
+              old_group.end() ||
+          std::find(new_group.begin(), new_group.end(), NodeId{3}) !=
+              new_group.end();
+      EXPECT_TRUE(involves3) << "unrelated group reshuffled for file " << f;
+    }
+  }
+  // Removing the node again drops its incarnation record.
+  reused.remove_node(3);
+  EXPECT_EQ(reused.incarnation_of(3), 0u);
+}
+
 }  // namespace
 }  // namespace idea::shard

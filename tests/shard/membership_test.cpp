@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "client/session.hpp"
+
 namespace idea::shard {
 namespace {
 
@@ -39,16 +41,16 @@ ShardedClusterConfig membership_config(std::uint64_t seed = 77) {
 }
 
 /// Deterministic workload: every file gets one write at each scheduled
-/// instant, issued through the router (so it lands on whatever endpoint
-/// coordinates the file at that moment).
-void schedule_writes(ShardedCluster& cluster, FileId first, FileId count,
+/// instant, issued through a client session (so it lands on whatever
+/// endpoint coordinates the file at that moment).
+void schedule_writes(ShardedCluster& cluster, client::ClientSession& session,
+                     FileId first, FileId count,
                      const std::vector<SimTime>& instants) {
   for (SimTime t : instants) {
-    cluster.sim().schedule_at(t, [&cluster, first, count, t] {
+    cluster.sim().schedule_at(t, [&session, first, count, t] {
       for (FileId f = first; f < first + count; ++f) {
-        cluster.router().write(
-            f, "w@" + std::to_string(t) + "#" + std::to_string(f),
-            static_cast<double>(f % 5));
+        session.put(f, "w@" + std::to_string(t) + "#" + std::to_string(f),
+                    static_cast<double>(f % 5));
       }
     });
   }
@@ -69,8 +71,10 @@ TEST(MembershipTest, JoinMigratesExactlyWhatRebalancePredicts) {
   constexpr FileId kFiles = 80;
   ShardedCluster cluster(membership_config());
   cluster.place(1, kFiles);
+  client::Client client(cluster);
+  client::ClientSession session = client.session();
   for (FileId f = 1; f <= kFiles; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "seed-" + std::to_string(f), 1.0));
+    ASSERT_TRUE(session.put(f, "seed-" + std::to_string(f), 1.0).ok());
   }
   cluster.run_for(sec(3));
 
@@ -110,8 +114,10 @@ TEST(MembershipTest, LeaveMigratesFilesOffTheEndpoint) {
   constexpr FileId kFiles = 60;
   ShardedCluster cluster(membership_config(123));
   cluster.place(1, kFiles);
+  client::Client client(cluster);
+  client::ClientSession session = client.session();
   for (FileId f = 1; f <= kFiles; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "pre-" + std::to_string(f), 0.5));
+    ASSERT_TRUE(session.put(f, "pre-" + std::to_string(f), 0.5).ok());
   }
   cluster.run_for(sec(3));
 
@@ -157,7 +163,9 @@ TEST(MembershipTest, ChurnedRunMatchesNeverChurnedDigests) {
 
   ShardedCluster churned(membership_config(9));
   churned.place(1, kFiles);
-  schedule_writes(churned, 1, kFiles, instants);
+  client::Client churned_client(churned);
+  client::ClientSession churned_session = churned_client.session();
+  schedule_writes(churned, churned_session, 1, kFiles, instants);
   churned.run_until(sec(3) + msec(200));
   const MembershipChange joined = churned.add_endpoint();
   EXPECT_EQ(joined.files_migrated, joined.rebalance.group_changed);
@@ -168,7 +176,9 @@ TEST(MembershipTest, ChurnedRunMatchesNeverChurnedDigests) {
 
   ShardedCluster control(membership_config(9));
   control.place(1, kFiles);
-  schedule_writes(control, 1, kFiles, instants);
+  client::Client control_client(control);
+  client::ClientSession control_session = control_client.session();
+  schedule_writes(control, control_session, 1, kFiles, instants);
   control.run_until(sec(20));
 
   const auto churned_digests = coordinator_digests(churned, 1, kFiles);
@@ -187,14 +197,79 @@ TEST(MembershipTest, ChurnedRunMatchesNeverChurnedDigests) {
   EXPECT_EQ(churned.router().stats().writes, control.router().stats().writes);
 }
 
+TEST(MembershipTest, RemovedEndpointIdsAreReusedWithBumpedIncarnations) {
+  // A long-lived cluster churns endlessly; ids must not leak.  Removed
+  // ids go on a free-list and the next join reuses the smallest one
+  // under a bumped incarnation, so the id space stays dense.
+  constexpr FileId kFiles = 30;
+  ShardedCluster cluster(membership_config(42));
+  cluster.place(1, kFiles);
+  client::Client client(cluster);
+  client::ClientSession session = client.session();
+  for (FileId f = 1; f <= kFiles; ++f) {
+    ASSERT_TRUE(session.put(f, "seed-" + std::to_string(f), 1.0).ok());
+  }
+  cluster.run_for(sec(2));
+
+  const std::uint32_t size_before = cluster.size();
+  const MembershipChange left = cluster.remove_endpoint(2);
+  EXPECT_EQ(left.endpoint, 2u);
+  EXPECT_EQ(cluster.free_ids().count(2), 1u);
+  cluster.run_for(sec(2));
+
+  // The join reuses id 2 instead of growing the id space.
+  const MembershipChange rejoined = cluster.add_endpoint();
+  EXPECT_EQ(rejoined.endpoint, 2u);
+  EXPECT_EQ(rejoined.incarnation, 1u);
+  EXPECT_EQ(cluster.incarnation(2), 1u);
+  EXPECT_EQ(cluster.size(), size_before) << "id space grew despite reuse";
+  EXPECT_TRUE(cluster.has_endpoint(2));
+  EXPECT_TRUE(cluster.free_ids().empty());
+  EXPECT_EQ(cluster.ring().incarnation_of(2), 1u);
+
+  // The reused endpoint takes traffic like any other: placements match
+  // the ring, writes keep flowing, groups converge — and any in-flight
+  // traffic from incarnation 0 was fenced by the group-epoch rebuild.
+  cluster.run_for(sec(3));
+  for (FileId f = 1; f <= kFiles; ++f) {
+    ASSERT_TRUE(cluster.is_placed(f));
+    EXPECT_EQ(cluster.group_of(f), cluster.ring().replicas(f, 3));
+    ASSERT_TRUE(session.put(f, "post-" + std::to_string(f), 0.5).ok());
+  }
+  cluster.run_for(sec(5));
+  for (FileId f = 1; f <= kFiles; ++f) {
+    EXPECT_TRUE(cluster.converged(f)) << "file " << f;
+  }
+
+  // Churn cycles never grow the id space: remove/add pairs stay dense.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const NodeId victim = static_cast<NodeId>(cycle % 3);
+    const MembershipChange out = cluster.remove_endpoint(victim);
+    ASSERT_EQ(out.endpoint, victim);
+    cluster.run_for(sec(1));
+    const MembershipChange in = cluster.add_endpoint();
+    EXPECT_EQ(in.endpoint, victim);
+    EXPECT_EQ(in.incarnation, cluster.incarnation(victim));
+    EXPECT_GT(in.incarnation, 0u);
+    cluster.run_for(sec(1));
+  }
+  EXPECT_EQ(cluster.size(), size_before);
+  cluster.run_for(sec(5));
+  for (FileId f = 1; f <= kFiles; ++f) {
+    EXPECT_TRUE(cluster.converged(f)) << "file " << f << " after churn";
+  }
+}
+
 TEST(MembershipTest, GroupsShrinkWhenRingFallsBelowReplication) {
   ShardedClusterConfig cfg = membership_config(31);
   cfg.endpoints = 3;
   cfg.sync_sizes();
   ShardedCluster cluster(cfg);
   cluster.place(1, 10);
+  client::Client client(cluster);
+  client::ClientSession session = client.session();
   for (FileId f = 1; f <= 10; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "x", 1.0));
+    ASSERT_TRUE(session.put(f, "x", 1.0).ok());
   }
   cluster.run_for(sec(2));
 
@@ -215,7 +290,7 @@ TEST(MembershipTest, GroupsShrinkWhenRingFallsBelowReplication) {
 
   // Writes keep flowing at replication factor 2.
   for (FileId f = 1; f <= 10; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "post", 1.0));
+    ASSERT_TRUE(session.put(f, "post", 1.0).ok());
   }
   cluster.run_for(sec(2));
   for (FileId f = 1; f <= 10; ++f) {

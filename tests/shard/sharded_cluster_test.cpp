@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <set>
 
+#include "client/session.hpp"
+
 namespace idea::shard {
 namespace {
 
@@ -52,7 +54,8 @@ TEST(ShardedClusterTest, PlacementMatchesRing) {
 TEST(ShardedClusterTest, WriteReplicatesAcrossGroup) {
   ShardedCluster cluster(small_cluster_config());
   const FileId file = 7;
-  ASSERT_TRUE(cluster.router().write(file, "alpha", 1.0));
+  client::ClientSession session(cluster, {});
+  ASSERT_TRUE(session.put(file, "alpha", 1.0).ok());
   cluster.run_for(sec(2));  // one replication hop
 
   for (std::uint32_t rank = 0; rank < 3; ++rank) {
@@ -89,8 +92,9 @@ TEST(ShardedClusterTest, ConflictingWritesConvergeThroughResolution) {
 
 TEST(ShardedClusterTest, RouterSpreadsCoordinators) {
   ShardedCluster cluster(small_cluster_config());
+  client::ClientSession session(cluster, {});
   for (FileId f = 1; f <= 64; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "x", 0.5));
+    ASSERT_TRUE(session.put(f, "x", 0.5).ok());
   }
   cluster.run_for(sec(1));
 
@@ -110,8 +114,9 @@ TEST(ShardedClusterTest, BatchingCoalescesSameTickFanout) {
   cluster.place(1, 40);
   // All coordinators push replicas at the same instant; co-located tenants
   // share endpoint pairs, so the fan-out coalesces into fewer envelopes.
+  client::ClientSession session(cluster, {});
   for (FileId f = 1; f <= 40; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "burst", 0.5));
+    ASSERT_TRUE(session.put(f, "burst", 0.5).ok());
   }
   cluster.run_for(sec(20));
 
@@ -132,7 +137,8 @@ TEST(ShardedClusterTest, BatchingCanBeDisabled) {
   cfg.batching = false;
   ShardedCluster cluster(cfg);
   EXPECT_EQ(cluster.batching(), nullptr);
-  ASSERT_TRUE(cluster.router().write(3, "plain", 1.0));
+  client::ClientSession session(cluster, {});
+  ASSERT_TRUE(session.put(3, "plain", 1.0).ok());
   cluster.run_for(sec(2));
   EXPECT_TRUE(cluster.converged(3));
 }
@@ -142,23 +148,26 @@ TEST(ShardedClusterTest, CloseFileTearsDownWholeGroup) {
   const FileId file = 5;
   cluster.ensure_open(file);
   const std::vector<NodeId> group = cluster.group_of(file);
-  EXPECT_TRUE(cluster.router().close(file));
+  client::ClientSession session(cluster, {});
+  EXPECT_TRUE(session.close(file));
   for (NodeId member : group) {
     EXPECT_EQ(cluster.service(member).find(file), nullptr);
   }
   EXPECT_FALSE(cluster.is_placed(file));
-  EXPECT_FALSE(cluster.router().close(file));  // idempotent no-op
+  EXPECT_FALSE(session.close(file));  // idempotent no-op
   cluster.run_for(sec(5));                     // no dangling timers blow up
 }
 
 TEST(ShardedClusterTest, EndToEndPlacementWriteConverge) {
-  // The acceptance flow: place a tenant population, write through the
-  // router, run the sim, and require every group to converge.
+  // The acceptance flow: place a tenant population, write through a
+  // client session, run the sim, and require every group to converge.
   ShardedCluster cluster(small_cluster_config(991));
   cluster.place(1, 30);
+  client::ClientSession session(cluster, {});
   for (FileId f = 1; f <= 30; ++f) {
-    ASSERT_TRUE(cluster.router().write(f, "payload-" + std::to_string(f),
-                                       0.25 * static_cast<double>(f % 4)));
+    ASSERT_TRUE(session.put(f, "payload-" + std::to_string(f),
+                            0.25 * static_cast<double>(f % 4))
+                    .ok());
   }
   cluster.run_for(sec(30));
   for (FileId f = 1; f <= 30; ++f) {
