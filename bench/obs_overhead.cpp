@@ -1,0 +1,259 @@
+/// \file obs_overhead.cpp
+/// \brief Observability overhead trajectory: the macro shard run (the
+///        hotpath.cpp headline configuration) executed three times per
+///        repetition — observability off, metrics-only, and full
+///        metrics+tracing — interleaved to cancel machine drift.
+///
+/// Emits BENCH_obs_overhead.json so CI accumulates the overhead ratio per
+/// PR.  The contract the obs layer must keep: identical replica digests
+/// across all three modes (observation never perturbs the protocol), and
+/// full instrumentation within a few percent of wall-clock of the
+/// uninstrumented run.
+///
+///   $ ./obs_overhead [--smoke] [--json BENCH_obs_overhead.json]
+///                    [--endpoints 32] [--files 2000] [--sim-secs 10]
+///                    [--reps 3] [--trace-out trace.json] [--strict]
+///
+/// --trace-out writes the full-mode run's chrome trace (load it at
+/// chrome://tracing or https://ui.perfetto.dev).  --strict exits nonzero
+/// when the full-mode overhead exceeds --max-overhead (default 1.05).
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/kvstore.hpp"
+#include "bench/common.hpp"
+#include "obs/observability.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::bench {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+enum class ObsMode { kOff, kMetrics, kFull };
+
+const char* mode_name(ObsMode mode) {
+  switch (mode) {
+    case ObsMode::kOff:
+      return "off";
+    case ObsMode::kMetrics:
+      return "metrics";
+    case ObsMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double wall_ms = 0.0;
+  std::uint64_t puts_applied = 0;
+  std::uint64_t logical_messages = 0;
+  std::uint64_t digest_xor = 0;
+  std::uint64_t traces = 0;
+  std::uint64_t spans = 0;
+};
+
+RunResult run_macro(ObsMode mode, std::uint32_t endpoints,
+                    std::uint32_t files, SimDuration sim_duration,
+                    std::uint64_t seed, const std::string& trace_out) {
+  const auto start = WallClock::now();
+  shard::ShardedClusterConfig cfg;
+  cfg.endpoints = endpoints;
+  cfg.replication = 3;
+  cfg.batching = true;
+  cfg.seed = seed;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
+  cfg.idea.controller.mode = core::AdaptiveMode::kHintBased;
+  cfg.idea.controller.hint = 0.85;
+  cfg.idea.detection_period = sec(2);
+  cfg.observability.enabled = mode != ObsMode::kOff;
+  cfg.observability.tracing = mode == ObsMode::kFull;
+  shard::ShardedCluster cluster(cfg);
+
+  cluster.place(1, files);
+  apps::KvStore kv(cluster,
+                   apps::KvStoreOptions{.buckets = files, .first_file = 1});
+  apps::KvWorkloadParams wl;
+  wl.clients = endpoints * 2;
+  wl.interval = msec(250);
+  wl.duration = sim_duration;
+  wl.keyspace = files * 4;
+  wl.zipf_s = 0.9;
+  apps::KvWorkload workload(kv, cluster.sim(), wl, seed ^ 0xBEEF);
+  workload.start();
+  cluster.run_for(sim_duration + sec(10));
+
+  RunResult r;
+  r.puts_applied = kv.puts();
+  r.logical_messages = cluster.batching() != nullptr
+                           ? cluster.batching()->stats().logical_messages
+                           : cluster.wire_counters().total_messages();
+  for (FileId f = 1; f <= files; f += 7) {
+    core::IdeaNode* coord = cluster.replica_at_rank(f, 0);
+    if (coord != nullptr) r.digest_xor ^= coord->store().content_digest();
+  }
+  if (mode == ObsMode::kFull && cluster.obs() != nullptr &&
+      cluster.obs()->tracer() != nullptr) {
+    r.traces = cluster.obs()->tracer()->traces_started();
+    r.spans = cluster.obs()->tracer()->spans().size();
+    if (!trace_out.empty()) {
+      std::FILE* f = std::fopen(trace_out.c_str(), "w");
+      if (f != nullptr) {
+        const std::string json = cluster.obs()->tracer()->export_chrome_trace();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu spans)\n", trace_out.c_str(),
+                    static_cast<std::size_t>(r.spans));
+      }
+    }
+  }
+  r.wall_ms = 1000.0 * std::chrono::duration<double>(WallClock::now() - start)
+                           .count();
+  return r;
+}
+
+double median_wall_ms(std::vector<RunResult>& runs) {
+  std::vector<double> walls;
+  walls.reserve(runs.size());
+  for (const RunResult& r : runs) walls.push_back(r.wall_ms);
+  std::sort(walls.begin(), walls.end());
+  return walls[walls.size() / 2];
+}
+
+void write_json(const std::string& path, bool smoke, std::uint32_t endpoints,
+                std::uint32_t files, double sim_secs, std::size_t reps,
+                double off_ms, double metrics_ms, double full_ms,
+                const RunResult& full_sample, bool digests_match) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"obs_overhead\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"endpoints\": %u,\n", endpoints);
+  std::fprintf(f, "    \"files\": %u,\n", files);
+  std::fprintf(f, "    \"sim_secs\": %.1f,\n", sim_secs);
+  std::fprintf(f, "    \"reps\": %zu\n", reps);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"median_wall_ms\": {\n");
+  std::fprintf(f, "    \"obs_off\": %.1f,\n", off_ms);
+  std::fprintf(f, "    \"obs_metrics\": %.1f,\n", metrics_ms);
+  std::fprintf(f, "    \"obs_full\": %.1f\n", full_ms);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"overhead_ratio\": {\n");
+  std::fprintf(f, "    \"metrics_vs_off\": %.4f,\n", metrics_ms / off_ms);
+  std::fprintf(f, "    \"full_vs_off\": %.4f\n", full_ms / off_ms);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"full_run\": {\n");
+  std::fprintf(f, "    \"puts_applied\": %" PRIu64 ",\n",
+               full_sample.puts_applied);
+  std::fprintf(f, "    \"logical_messages\": %" PRIu64 ",\n",
+               full_sample.logical_messages);
+  std::fprintf(f, "    \"traces\": %" PRIu64 ",\n", full_sample.traces);
+  std::fprintf(f, "    \"spans\": %" PRIu64 ",\n", full_sample.spans);
+  std::fprintf(f, "    \"content_digest_xor\": \"%016" PRIx64 "\"\n",
+               full_sample.digest_xor);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"digests_match_across_modes\": %s\n",
+               digests_match ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace idea::bench
+
+int main(int argc, char** argv) {
+  using namespace idea;
+  using namespace idea::bench;
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+
+  print_header("Observability overhead: macro run off / metrics / full");
+
+  const auto endpoints = static_cast<std::uint32_t>(
+      flags.get_int("endpoints", smoke ? 8 : 32));
+  const auto files =
+      static_cast<std::uint32_t>(flags.get_int("files", smoke ? 200 : 2000));
+  const double sim_secs = flags.get_double("sim-secs", smoke ? 3.0 : 10.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2007));
+  const auto reps =
+      static_cast<std::size_t>(flags.get_int("reps", smoke ? 1 : 3));
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const double max_overhead = flags.get_double("max-overhead", 1.05);
+  const bool strict = flags.get_bool("strict", false);
+
+  const SimDuration sim_duration = sec_f(sim_secs);
+  std::vector<RunResult> off_runs, metrics_runs, full_runs;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // Interleave the three modes within each repetition so machine drift
+    // (thermal, cache, background load) hits all of them equally.
+    for (const ObsMode mode :
+         {ObsMode::kOff, ObsMode::kMetrics, ObsMode::kFull}) {
+      // Only the first full-mode rep exports the sample trace.
+      const std::string out =
+          (mode == ObsMode::kFull && rep == 0) ? trace_out : "";
+      const RunResult r =
+          run_macro(mode, endpoints, files, sim_duration, seed, out);
+      std::printf("rep %zu %-7s: %7.1f ms wall, %" PRIu64
+                  " logical msgs, digest %016" PRIx64 "\n",
+                  rep, mode_name(mode), r.wall_ms, r.logical_messages,
+                  r.digest_xor);
+      switch (mode) {
+        case ObsMode::kOff:
+          off_runs.push_back(r);
+          break;
+        case ObsMode::kMetrics:
+          metrics_runs.push_back(r);
+          break;
+        case ObsMode::kFull:
+          full_runs.push_back(r);
+          break;
+      }
+    }
+  }
+
+  // Pure-observer check: instrumentation must not change what the cluster
+  // computed.  A digest mismatch is a correctness bug, not a perf result.
+  bool digests_match = true;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    digests_match &= off_runs[rep].digest_xor == metrics_runs[rep].digest_xor;
+    digests_match &= off_runs[rep].digest_xor == full_runs[rep].digest_xor;
+    digests_match &=
+        off_runs[rep].logical_messages == full_runs[rep].logical_messages;
+  }
+  if (!digests_match) {
+    std::fprintf(stderr,
+                 "FAIL: digests/message counts diverge across obs modes\n");
+  }
+
+  const double off_ms = median_wall_ms(off_runs);
+  const double metrics_ms = median_wall_ms(metrics_runs);
+  const double full_ms = median_wall_ms(full_runs);
+  std::printf("medians: off %.1f ms, metrics %.1f ms (x%.3f), "
+              "full %.1f ms (x%.3f)\n",
+              off_ms, metrics_ms, metrics_ms / off_ms, full_ms,
+              full_ms / off_ms);
+
+  write_json(flags.get_string("json", "BENCH_obs_overhead.json"), smoke,
+             endpoints, files, sim_secs, reps, off_ms, metrics_ms, full_ms,
+             full_runs.front(), digests_match);
+
+  if (!digests_match) return 1;
+  if (strict && full_ms / off_ms > max_overhead) {
+    std::fprintf(stderr, "FAIL: full-mode overhead x%.3f exceeds x%.3f\n",
+                 full_ms / off_ms, max_overhead);
+    return 1;
+  }
+  return 0;
+}

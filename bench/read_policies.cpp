@@ -5,9 +5,11 @@
 /// One deployment per level (32 endpoints, k=3, anti-entropy on, live
 /// write stream), same seed: clients attached at every endpoint read a
 /// rotating set of files under the level being measured.  Reported per
-/// level: client-observed read latency (mean/p95, from the latency-model
-/// round trips the routing implies) and observed staleness (versions the
-/// served view lagged the coordinator by at serve time, checked exactly).
+/// level: client-observed read latency (mean/p95) and observed staleness
+/// (versions the served view lagged the coordinator by at serve time) —
+/// both sourced from the obs::MetricsRegistry the deployment records into
+/// (the per-level session.read.* histograms), not from bench-local
+/// tallies, so the bench exercises the same numbers operators would read.
 ///
 /// Strong pays the full coordinator round trip at staleness 0; Eventual
 /// serves the nearest replica at whatever staleness it has; Bounded sits
@@ -27,6 +29,8 @@
 #include <vector>
 
 #include "client/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
 #include "shard/sharded_cluster.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -44,30 +48,31 @@ struct Setup {
 struct LevelResult {
   std::string name;
   std::uint64_t reads = 0;
-  std::vector<double> latencies_ms;
-  std::uint64_t staleness_total = 0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double mean_staleness = 0.0;
   std::uint64_t staleness_max = 0;
   std::uint64_t stale_reads = 0;  ///< Reads served with staleness > 0.
   std::uint64_t escalations = 0;
+  /// Routing detail the registry doesn't key by file — tallied locally.
   std::uint64_t coordinator_served = 0;
-
-  [[nodiscard]] double mean_latency_ms() const {
-    if (latencies_ms.empty()) return 0.0;
-    double sum = 0.0;
-    for (double v : latencies_ms) sum += v;
-    return sum / static_cast<double>(latencies_ms.size());
-  }
-  [[nodiscard]] double p95_latency_ms() {
-    if (latencies_ms.empty()) return 0.0;
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    return latencies_ms[latencies_ms.size() * 95 / 100];
-  }
-  [[nodiscard]] double mean_staleness() const {
-    return reads == 0 ? 0.0
-                      : static_cast<double>(staleness_total) /
-                            static_cast<double>(reads);
-  }
 };
+
+/// The per-level metric-name suffix the session layer records under
+/// (session.read.latency_us.<suffix> / session.read.staleness.<suffix>).
+const char* level_suffix(const client::ConsistencyLevel& level) {
+  switch (level.level) {
+    case client::Level::kStrong:
+      return "strong";
+    case client::Level::kBoundedStaleness:
+      return "bounded";
+    case client::Level::kEventualNearest:
+      return "eventual";
+    case client::Level::kQuorum:
+      return "quorum";
+  }
+  return "?";
+}
 
 LevelResult run_level(const Setup& s, const std::string& name,
                       const client::ConsistencyLevel& level) {
@@ -83,6 +88,9 @@ LevelResult run_level(const Setup& s, const std::string& name,
   cfg.idea.controller.mode = core::AdaptiveMode::kOnDemand;
   cfg.idea.controller.hint = 0.0;
   cfg.idea.detection_period = sec(2);
+  // Metrics on (tracing off): the numbers reported below come out of the
+  // deployment's own registry, the way an operator would read them.
+  cfg.observability.enabled = true;
   auto cluster = std::make_unique<shard::ShardedCluster>(cfg);
   cluster->place(1, s.files);
 
@@ -134,14 +142,6 @@ LevelResult run_level(const Setup& s, const std::string& name,
                                       : pick.next_below(s.files));
       const client::OpHandle<client::ReadResult> h = reader.read(f);
       if (!h.ok()) continue;
-      ++result.reads;
-      result.latencies_ms.push_back(static_cast<double>(h->latency) /
-                                    1000.0);
-      result.staleness_total += h->staleness_versions;
-      result.staleness_max =
-          std::max(result.staleness_max, h->staleness_versions);
-      if (h->staleness_versions > 0) ++result.stale_reads;
-      if (h->escalated) ++result.escalations;
       if (h->served_by == cluster->coordinator_endpoint(f)) {
         ++result.coordinator_served;
       }
@@ -153,6 +153,29 @@ LevelResult run_level(const Setup& s, const std::string& name,
   cluster->sim().schedule_at(msec(500), read_tick);
 
   cluster->run_until(end_time);
+
+  // Latency/staleness come from the deployment's registry — the per-level
+  // histograms and counters the session layer recorded while routing the
+  // reads above (only the measured level's readers read in this cluster).
+  const obs::MetricsRegistry& reg = cluster->obs()->cluster();
+  const std::string suffix = level_suffix(level);
+  const obs::Histogram* lat = reg.histogram(
+      obs::MetricId::intern("session.read.latency_us." + suffix));
+  const obs::Histogram* stale = reg.histogram(
+      obs::MetricId::intern("session.read.staleness." + suffix));
+  if (lat != nullptr) {
+    result.reads = lat->count;
+    result.mean_latency_ms = lat->mean() / 1000.0;
+    result.p95_latency_ms = lat->quantile(0.95) / 1000.0;
+  }
+  if (stale != nullptr) {
+    result.mean_staleness = stale->mean();
+    result.staleness_max = stale->max;
+  }
+  result.stale_reads =
+      reg.counter(obs::MetricId::intern("session.read.stale"));
+  result.escalations =
+      reg.counter(obs::MetricId::intern("session.read.escalated"));
   return result;
 }
 
@@ -161,8 +184,8 @@ void print_row(LevelResult& r) {
       "%-18s %7" PRIu64 " reads  lat %6.1f ms mean / %6.1f ms p95   "
       "staleness %5.2f mean / %3" PRIu64 " max (%4.1f%% stale reads)   "
       "%5.1f%% coord-served  %" PRIu64 " escalations\n",
-      r.name.c_str(), r.reads, r.mean_latency_ms(), r.p95_latency_ms(),
-      r.mean_staleness(), r.staleness_max,
+      r.name.c_str(), r.reads, r.mean_latency_ms, r.p95_latency_ms,
+      r.mean_staleness, r.staleness_max,
       r.reads == 0 ? 0.0
                    : 100.0 * static_cast<double>(r.stale_reads) /
                          static_cast<double>(r.reads),
@@ -190,11 +213,10 @@ void write_json(const std::string& path, bool smoke, const Setup& s,
     LevelResult& r = results[i];
     std::fprintf(f, "    \"%s\": {\n", r.name.c_str());
     std::fprintf(f, "      \"reads\": %" PRIu64 ",\n", r.reads);
-    std::fprintf(f, "      \"mean_latency_ms\": %.2f,\n",
-                 r.mean_latency_ms());
-    std::fprintf(f, "      \"p95_latency_ms\": %.2f,\n", r.p95_latency_ms());
+    std::fprintf(f, "      \"mean_latency_ms\": %.2f,\n", r.mean_latency_ms);
+    std::fprintf(f, "      \"p95_latency_ms\": %.2f,\n", r.p95_latency_ms);
     std::fprintf(f, "      \"mean_staleness_versions\": %.3f,\n",
-                 r.mean_staleness());
+                 r.mean_staleness);
     std::fprintf(f, "      \"max_staleness_versions\": %" PRIu64 ",\n",
                  r.staleness_max);
     std::fprintf(f, "      \"stale_read_fraction\": %.4f,\n",

@@ -1,10 +1,52 @@
 #include "client/session.hpp"
 
+#include <algorithm>
+#include <array>
 #include <utility>
 
+#include "obs/observability.hpp"
 #include "shard/sharded_cluster.hpp"
 
 namespace idea::client {
+namespace {
+
+/// Per-consistency-level metric ids, indexed by Level (see consistency.hpp
+/// for the enum order the name arrays mirror).
+obs::MetricId read_latency_metric(Level level) {
+  static const std::array<obs::MetricId, 4> ids = {
+      obs::MetricId::intern("session.read.latency_us.strong"),
+      obs::MetricId::intern("session.read.latency_us.bounded"),
+      obs::MetricId::intern("session.read.latency_us.eventual"),
+      obs::MetricId::intern("session.read.latency_us.quorum"),
+  };
+  return ids[static_cast<std::size_t>(level)];
+}
+
+obs::MetricId read_staleness_metric(Level level) {
+  static const std::array<obs::MetricId, 4> ids = {
+      obs::MetricId::intern("session.read.staleness.strong"),
+      obs::MetricId::intern("session.read.staleness.bounded"),
+      obs::MetricId::intern("session.read.staleness.eventual"),
+      obs::MetricId::intern("session.read.staleness.quorum"),
+  };
+  return ids[static_cast<std::size_t>(level)];
+}
+
+/// Session-level metric ids, interned once per process.
+struct SessionMetrics {
+  obs::MetricId reads = obs::MetricId::intern("session.reads");
+  obs::MetricId puts = obs::MetricId::intern("session.puts");
+  obs::MetricId escalated = obs::MetricId::intern("session.read.escalated");
+  obs::MetricId stale = obs::MetricId::intern("session.read.stale");
+  obs::MetricId put_latency = obs::MetricId::intern("session.put.latency_us");
+};
+
+const SessionMetrics& session_metrics() {
+  static const SessionMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ClientSession::ClientSession(shard::ShardedCluster& cluster,
                              SessionOptions options)
@@ -12,8 +54,18 @@ ClientSession::ClientSession(shard::ShardedCluster& cluster,
 
 OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
                                       double meta_delta) {
+  obs::Observability* o = cluster_.obs();
+  obs::TraceContext tc;
+  if (o != nullptr && o->tracer() != nullptr &&
+      ops_ % std::max<std::uint32_t>(1, o->config().trace_sample_every) ==
+          0) {
+    tc = o->tracer()->start_trace("session.put", options_.origin, file,
+                                  cluster_.sim().now());
+  }
+  ++ops_;
+
   const bool applied =
-      cluster_.router().write(file, std::move(content), meta_delta);
+      cluster_.router().write(file, std::move(content), meta_delta, tc);
   const NodeId coordinator = cluster_.coordinator_endpoint(file);
   applied ? ++stats_.puts : ++stats_.blocked_puts;
   // The write acks from the coordinator: one round trip from the
@@ -23,6 +75,15 @@ OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
       coordinator == kNoNode
           ? 0
           : cluster_.router().rtt(options_.origin, coordinator);
+  if (o != nullptr && applied) {
+    obs::Meter meter = o->cluster_meter();
+    meter.add(session_metrics().puts);
+    meter.observe(session_metrics().put_latency,
+                  static_cast<std::uint64_t>(latency));
+  }
+  if (tc.active()) {
+    o->tracer()->end_span(tc.span, cluster_.sim().now() + latency);
+  }
   return OpHandle<WriteAck>(cluster_.sim(), WriteAck{applied, coordinator},
                             latency, applied);
 }
@@ -33,12 +94,38 @@ OpHandle<ReadResult> ClientSession::read(FileId file) {
 
 OpHandle<ReadResult> ClientSession::read(FileId file,
                                          const ConsistencyLevel& level) {
-  ReadResult result = cluster_.router().read(file, level, options_.origin);
+  obs::Observability* o = cluster_.obs();
+  obs::TraceContext tc;
+  if (o != nullptr && o->tracer() != nullptr &&
+      ops_ % std::max<std::uint32_t>(1, o->config().trace_sample_every) ==
+          0) {
+    tc = o->tracer()->start_trace("session.read", options_.origin, file,
+                                  cluster_.sim().now());
+  }
+  ++ops_;
+
+  ReadResult result =
+      cluster_.router().read(file, level, options_.origin, tc);
   const bool ok = result.ok();
   ++stats_.reads;
   if (result.escalated) ++stats_.escalated_reads;
   stats_.staleness_versions_total += result.staleness_versions;
   stats_.read_latency_total += result.latency;
+  if (o != nullptr && ok) {
+    obs::Meter meter = o->cluster_meter();
+    meter.add(session_metrics().reads);
+    meter.observe(read_latency_metric(level.level),
+                  static_cast<std::uint64_t>(result.latency));
+    meter.observe(read_staleness_metric(level.level),
+                  result.staleness_versions);
+    if (result.escalated) meter.add(session_metrics().escalated);
+    if (result.staleness_versions > 0) meter.add(session_metrics().stale);
+  }
+  // The root span covers the whole client-observed operation: issued now,
+  // completed when the modeled round trips are over.
+  if (tc.active()) {
+    o->tracer()->end_span(tc.span, cluster_.sim().now() + result.latency);
+  }
   const SimDuration latency = result.latency;
   return OpHandle<ReadResult>(cluster_.sim(), std::move(result), latency, ok);
 }

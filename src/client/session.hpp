@@ -96,6 +96,9 @@ class ClientSession {
   shard::ShardedCluster& cluster_;
   SessionOptions options_;
   SessionStats stats_;
+  /// Operations issued — the trace-sampling counter (every Nth op mints a
+  /// trace when the cluster's observability has tracing on).
+  std::uint64_t ops_ = 0;
 };
 
 /// Unified entry point (`idea::client::Client`): opens sessions against

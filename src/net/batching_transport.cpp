@@ -86,7 +86,14 @@ void BatchingTransport::flush(PairKey key) {
   batch.swap(queue.pending);
 
   const SimTime now = inner_.now();
-  for (const Message& m : batch) stats_.queue_wait_total += now - m.sent_at;
+  SimDuration wait = 0;
+  for (const Message& m : batch) wait += now - m.sent_at;
+  stats_.queue_wait_total += wait;
+  if (meter_.enabled()) {
+    meter_.observe(occupancy_metric_, batch.size());
+    meter_.observe(queue_wait_metric_, static_cast<std::uint64_t>(wait));
+    meter_.add(envelopes_metric_);
+  }
 
   if (batch.size() == 1) {
     // No coalescing happened; skip the envelope overhead.
@@ -154,6 +161,15 @@ std::uint64_t BatchingTransport::call_every(SimDuration period,
 
 void BatchingTransport::cancel_call(std::uint64_t handle) {
   inner_.cancel_call(handle);
+}
+
+void BatchingTransport::set_metrics(obs::Meter meter) {
+  meter_ = meter;
+  if (meter_.enabled()) {
+    occupancy_metric_ = obs::MetricId::intern("net.batch.occupancy");
+    queue_wait_metric_ = obs::MetricId::intern("net.batch.queue_wait_us");
+    envelopes_metric_ = obs::MetricId::intern("net.batch.envelopes");
+  }
 }
 
 }  // namespace idea::net

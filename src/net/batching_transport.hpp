@@ -22,6 +22,7 @@
 
 #include "net/msg_type.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace idea::net {
 
@@ -87,6 +88,12 @@ class BatchingTransport final : public Transport, private MessageHandler {
 
   [[nodiscard]] const BatchingStats& stats() const { return stats_; }
 
+  /// Install a metrics sink: flush() records the "net.batch.occupancy"
+  /// histogram (messages per envelope), "net.batch.queue_wait_us" (per
+  /// flush, total sim-time messages waited) and the "net.batch.envelopes"
+  /// counter.
+  void set_metrics(obs::Meter meter);
+
   static const MsgType kBatchType;  ///< Interned "net.batch".
 
  private:
@@ -112,6 +119,10 @@ class BatchingTransport final : public Transport, private MessageHandler {
   std::vector<MessageHandler*> handlers_;  ///< Indexed by node id.
   std::unordered_map<PairKey, Queue> queues_;
   BatchingStats stats_;
+  obs::Meter meter_;
+  obs::MetricId occupancy_metric_;
+  obs::MetricId queue_wait_metric_;
+  obs::MetricId envelopes_metric_;
 };
 
 }  // namespace idea::net

@@ -40,6 +40,12 @@ struct Message {
   /// leak into the new stacks with remapped sender ranks.  0 for every
   /// deployment that never changes membership.
   std::uint32_t epoch = 0;
+  /// Causal-trace context (obs layer): the trace this message belongs to
+  /// and the sender-side span covering its flight.  Metadata only — not
+  /// counted in wire_bytes, never consulted by the protocols — so traced
+  /// and untraced runs are byte-identical.  0 = untraced.
+  std::uint64_t trace = 0;
+  std::uint32_t span = 0;
 };
 
 /// Per-type and total message/byte counters.

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace idea::obs {
+
+TraceContext Tracer::start_trace(std::string_view name, NodeId endpoint,
+                                 FileId file, SimTime at) {
+  const std::uint64_t trace = next_trace_++;
+  return begin_span(TraceContext{trace, 0}, name, endpoint, file, at);
+}
+
+TraceContext Tracer::begin_span(const TraceContext& parent,
+                                std::string_view name, NodeId endpoint,
+                                FileId file, SimTime at) {
+  if (!parent.active()) return {};
+  SpanRecord span;
+  span.trace = parent.trace;
+  span.id = static_cast<std::uint32_t>(spans_.size() + 1);
+  span.parent = parent.span;
+  span.name = name;
+  span.endpoint = endpoint;
+  span.file = file;
+  span.start = at;
+  spans_.push_back(span);
+  return TraceContext{span.trace, span.id};
+}
+
+void Tracer::end_span(std::uint32_t span_id, SimTime at) {
+  if (span_id == 0 || span_id > spans_.size()) return;
+  SpanRecord& span = spans_[span_id - 1];
+  if (!span.finished()) span.end = at;
+}
+
+TraceContext Tracer::instant(const TraceContext& parent,
+                             std::string_view name, NodeId endpoint,
+                             FileId file, SimTime at) {
+  const TraceContext ctx = begin_span(parent, name, endpoint, file, at);
+  if (ctx.active()) end_span(ctx.span, at);
+  return ctx;
+}
+
+std::vector<SpanRecord> Tracer::trace_spans(std::uint64_t trace) const {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans_) {
+    if (s.trace == trace) out.push_back(s);
+  }
+  return out;
+}
+
+std::string Tracer::export_chrome_trace() const {
+  std::string out;
+  out.reserve(spans_.size() * 160 + 256);
+  out += "{\"traceEvents\": [\n";
+  char buf[320];
+
+  // Name the per-endpoint "processes" so chrome://tracing labels rows
+  // meaningfully.  Endpoints are discovered from the spans themselves;
+  // kNoNode (the client's origin-less side) renders as pid -1.
+  std::vector<std::int64_t> pids;
+  for (const SpanRecord& s : spans_) {
+    const std::int64_t pid =
+        s.endpoint == kNoNode ? -1 : static_cast<std::int64_t>(s.endpoint);
+    bool seen = false;
+    for (std::int64_t p : pids) {
+      if (p == pid) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) pids.push_back(pid);
+  }
+  bool first = true;
+  for (std::int64_t pid : pids) {
+    if (!first) out += ",\n";
+    first = false;
+    if (pid < 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+                    "-1, \"args\": {\"name\": \"client\"}}");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+                    "%lld, \"args\": {\"name\": \"endpoint %lld\"}}",
+                    static_cast<long long>(pid), static_cast<long long>(pid));
+    }
+    out += buf;
+  }
+
+  for (const SpanRecord& s : spans_) {
+    const bool lost = !s.finished();
+    const SimDuration dur = lost ? 0 : s.end - s.start;
+    const std::int64_t pid =
+        s.endpoint == kNoNode ? -1 : static_cast<std::int64_t>(s.endpoint);
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"name\": \"%.*s\", \"ph\": \"X\", \"ts\": %lld, \"dur\": %lld, "
+        "\"pid\": %lld, \"tid\": %llu, \"args\": {\"span\": %u, \"parent\": "
+        "%u, \"file\": %u, \"lost\": %s}}",
+        static_cast<int>(s.name.size()), s.name.data(),
+        static_cast<long long>(s.start), static_cast<long long>(dur),
+        static_cast<long long>(pid),
+        static_cast<unsigned long long>(s.trace), s.id, s.parent, s.file,
+        lost ? "true" : "false");
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace idea::obs

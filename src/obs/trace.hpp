@@ -1,0 +1,102 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Cross-endpoint causal tracing on the simulator clock.
+///
+/// A TraceContext (trace id + parent span id) is minted when a ClientSession
+/// operation starts and rides on every message the operation causes —
+/// net::Message carries the two ids next to its group-epoch field — so one
+/// read's full escalation path (router decision, coordinator replication,
+/// quorum fan-out, the anti-entropy round that finally heals the stale
+/// replica) is recorded as a single span tree across endpoints.
+///
+/// Spans are recorded into a Tracer owned by the deployment's Observability
+/// instance.  Wire spans open at send time and close at delivery, so their
+/// duration is the modeled network flight time; a span that never closes is
+/// a *lost message*, exported with `"lost": true` — scripted loss windows
+/// are directly visible in the trace.  All timestamps are simulator
+/// microseconds, so fixed-seed runs export byte-identical traces.
+///
+/// export_chrome_trace() emits the Chrome trace-event JSON format: load the
+/// file in chrome://tracing (or https://ui.perfetto.dev) and each endpoint
+/// appears as a process with its spans on the trace's timeline.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace idea::obs {
+
+/// The propagated causal context: which trace this work belongs to and
+/// which span caused it.  trace == 0 means "untraced" — the common case,
+/// checked with one branch everywhere.
+struct TraceContext {
+  std::uint64_t trace = 0;  ///< Trace id; 0 = not traced.
+  std::uint32_t span = 0;   ///< Parent span id within the trace.
+
+  [[nodiscard]] constexpr bool active() const { return trace != 0; }
+};
+
+/// One recorded span.  `name` must point at static-storage strings
+/// (protocol literals) — the tracer stores the view, not a copy.
+struct SpanRecord {
+  std::uint64_t trace = 0;
+  std::uint32_t id = 0;      ///< 1-based; index into the tracer's log + 1.
+  std::uint32_t parent = 0;  ///< 0 = trace root.
+  std::string_view name;
+  NodeId endpoint = kNoNode;  ///< kNoNode renders as the "client" process.
+  FileId file = 0;
+  SimTime start = 0;
+  SimTime end = -1;  ///< < start = never closed (lost message / open op).
+
+  [[nodiscard]] bool finished() const { return end >= start; }
+};
+
+/// Append-only span log.  Ids are handed out sequentially, so recording is
+/// deterministic and spans can be closed by id from another endpoint.
+class Tracer {
+ public:
+  /// Mint a new trace rooted at a fresh span.  Returns the context child
+  /// work should propagate.
+  TraceContext start_trace(std::string_view name, NodeId endpoint,
+                           FileId file, SimTime at);
+
+  /// Open a child span under `parent`; no-op (inactive context) when the
+  /// parent is untraced.
+  TraceContext begin_span(const TraceContext& parent, std::string_view name,
+                          NodeId endpoint, FileId file, SimTime at);
+
+  /// Close a span by id (idempotent; unknown ids ignored).
+  void end_span(std::uint32_t span_id, SimTime at);
+
+  /// A zero-duration child span (decision points, applies).
+  TraceContext instant(const TraceContext& parent, std::string_view name,
+                       NodeId endpoint, FileId file, SimTime at);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const {
+    return spans_;
+  }
+  [[nodiscard]] std::uint64_t traces_started() const {
+    return next_trace_ - 1;
+  }
+
+  /// All spans of one trace, in recording order.
+  [[nodiscard]] std::vector<SpanRecord> trace_spans(
+      std::uint64_t trace) const;
+
+  /// The whole span log as Chrome trace-event JSON ("X" complete events,
+  /// pid = endpoint, tid = trace id, ts/dur in simulated microseconds).
+  /// Byte-deterministic for fixed-seed runs.
+  [[nodiscard]] std::string export_chrome_trace() const;
+
+  void clear() { spans_.clear(); }
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::uint64_t next_trace_ = 1;
+};
+
+}  // namespace idea::obs

@@ -1,7 +1,11 @@
 #include "shard/replica_sync.hpp"
 
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <utility>
+
+#include "util/log.hpp"
 
 namespace idea::shard {
 
@@ -22,6 +26,29 @@ std::uint32_t batch_wire_bytes(const std::vector<replica::Update>& updates) {
   return bytes;
 }
 
+/// The agent's metric ids, interned once per process.
+struct AgentMetrics {
+  obs::MetricId replicate_pushed = obs::MetricId::intern("replicate.pushed");
+  obs::MetricId replicate_applied =
+      obs::MetricId::intern("replicate.applied");
+  obs::MetricId ae_rounds = obs::MetricId::intern("ae.rounds");
+  obs::MetricId ae_digests_received =
+      obs::MetricId::intern("ae.digests_received");
+  obs::MetricId ae_repair_bytes = obs::MetricId::intern("ae.repair.bytes");
+  obs::MetricId ae_repair_updates_sent =
+      obs::MetricId::intern("ae.repair.updates_sent");
+  obs::MetricId ae_repair_updates_applied =
+      obs::MetricId::intern("ae.repair.updates_applied");
+  obs::MetricId ae_heal_rounds = obs::MetricId::intern("ae.heal_rounds");
+  obs::MetricId migrate_updates_applied =
+      obs::MetricId::intern("migrate.updates_applied");
+};
+
+const AgentMetrics& agent_metrics() {
+  static const AgentMetrics m;
+  return m;
+}
+
 }  // namespace
 
 ReplicaSyncAgent::ReplicaSyncAgent(core::IdeaNode& node,
@@ -36,7 +63,8 @@ ReplicaSyncAgent::~ReplicaSyncAgent() {
   node_.dispatcher().unroute("shard.");
 }
 
-bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
+bool ReplicaSyncAgent::put(std::string content, double meta_delta,
+                           const obs::TraceContext& tc) {
   if (!node_.write(std::move(content), meta_delta)) {
     ++stats_.blocked_puts;
     return false;
@@ -51,6 +79,7 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
   // One shared allocation for the whole fan-out; each send refcounts it.
   const net::Payload payload = std::vector<replica::Update>{*u};
   const auto bytes = static_cast<std::uint32_t>(16 + u->wire_bytes());
+  std::uint64_t pushed = 0;
   for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
     if (rank == node_.id()) continue;
     net::Message msg;
@@ -60,9 +89,12 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta) {
     msg.type = kReplicateType;
     msg.payload = payload;
     msg.wire_bytes = bytes;
+    stamp_wire_span(msg, tc, "msg.shard.replicate");
     transport_.send(std::move(msg));
     ++stats_.pushed;
+    ++pushed;
   }
+  if (pushed > 0) meter_.add(agent_metrics().replicate_pushed, pushed);
   return true;
 }
 
@@ -83,6 +115,8 @@ void ReplicaSyncAgent::stop_anti_entropy() {
 void ReplicaSyncAgent::anti_entropy_round() {
   if (group_size_ < 2) return;
   ++stats_.ae_rounds;
+  ++rounds_since_heal_;
+  meter_.add(agent_metrics().ae_rounds);
   // Deterministic rotation: consecutive rounds visit every other rank
   // before repeating, so a pairwise exchange happens within k-1 periods.
   const std::uint32_t offset = 1 + (ae_rotation_++ % (group_size_ - 1));
@@ -98,6 +132,13 @@ void ReplicaSyncAgent::anti_entropy_round() {
   // current because every store mutation invalidates the snapshot.
   msg.payload = net::Payload::wrap(node_.store().evv_snapshot());
   msg.wire_bytes = 16 + node_.store().evv().wire_bytes();
+  // Adopt the repair trace the router parked for this file (a traced read
+  // that observed staleness): the round is tagged, not altered, and the
+  // parked context stays until a traced repair actually heals something.
+  if (obs_ != nullptr) {
+    stamp_wire_span(msg, obs_->peek_repair_trace(node_.file()),
+                    "msg.shard.digest");
+  }
   transport_.send(std::move(msg));
 }
 
@@ -150,7 +191,8 @@ std::size_t ReplicaSyncAgent::apply_batch(
 
 void ReplicaSyncAgent::send_repair(NodeId to_rank,
                                    std::vector<replica::Update> updates,
-                                   bool respond) {
+                                   bool respond,
+                                   const obs::TraceContext& tc) {
   RepairPayload body;
   body.sender_counts = node_.store().evv().counts();
   body.invalidated = node_.store().invalidated_keys();
@@ -167,32 +209,73 @@ void ReplicaSyncAgent::send_repair(NodeId to_rank,
       static_cast<std::uint32_t>(12 * body.sender_counts.writer_count()) +
       static_cast<std::uint32_t>(12 * body.invalidated.size());
   stats_.repair_updates_sent += body.updates.size();
+  if (!body.updates.empty()) {
+    meter_.add(agent_metrics().ae_repair_updates_sent, body.updates.size());
+  }
+  meter_.add(agent_metrics().ae_repair_bytes, msg.wire_bytes);
+  stamp_wire_span(msg, tc, "msg.shard.repair");
   msg.payload = std::move(body);
   transport_.send(std::move(msg));
   ++stats_.repairs_sent;
 }
 
 void ReplicaSyncAgent::on_message(const net::Message& msg) {
+  // Structured log context for everything this delivery triggers, and the
+  // inbound trace: close the sender's wire span at delivery time, then
+  // parent any work this handler records from it.
+  std::optional<LogTagScope> tags;
+  if (obs_ != nullptr) {
+    tags.emplace(LogTags{transport_.now(), endpoint_, msg.trace});
+  }
+  const obs::TraceContext inbound{msg.trace, msg.span};
+  obs::Tracer* tr = tracer();
+  if (tr != nullptr && inbound.active()) {
+    tr->end_span(msg.span, transport_.now());
+  }
+
   if (msg.type == kReplicateType) {
-    apply_batch(msg.payload.as<std::vector<replica::Update>>(),
-                stats_.applied);
+    const std::size_t applied = apply_batch(
+        msg.payload.as<std::vector<replica::Update>>(), stats_.applied);
+    if (applied > 0) meter_.add(agent_metrics().replicate_applied, applied);
+    if (tr != nullptr && inbound.active() && applied > 0) {
+      tr->instant(inbound, "replicate.apply", endpoint_, msg.file,
+                  transport_.now());
+    }
     return;
   }
   if (msg.type == kDigestType) {
     ++stats_.digests_received;
+    meter_.add(agent_metrics().ae_digests_received);
     const auto& peer_evv = msg.payload.as<vv::ExtendedVersionVector>();
     if (on_freshness_) on_freshness_(msg.from, peer_evv.counts().total());
     // Always reply, even with nothing to offer: the initiator needs our
-    // counts to push back the other half of the delta.
+    // counts to push back the other half of the delta.  A traced digest's
+    // repair joins the same trace.
     send_repair(msg.from,
                 node_.store().updates_ahead_of(peer_evv.counts()),
-                /*respond=*/true);
+                /*respond=*/true, inbound);
     return;
   }
   if (msg.type == kRepairType) {
     const auto& body = msg.payload.as<RepairPayload>();
     if (on_freshness_) on_freshness_(msg.from, body.sender_counts.total());
-    apply_batch(body.updates, stats_.repair_updates_applied);
+    const std::size_t applied =
+        apply_batch(body.updates, stats_.repair_updates_applied);
+    if (applied > 0) {
+      meter_.add(agent_metrics().ae_repair_updates_applied, applied);
+      meter_.observe(agent_metrics().ae_heal_rounds, rounds_since_heal_);
+      rounds_since_heal_ = 0;
+      if (tr != nullptr && inbound.active()) {
+        tr->instant(inbound, "ae.repair.apply", endpoint_, msg.file,
+                    transport_.now());
+      }
+      // This repair healed real staleness under the parked trace: the
+      // escalation→heal loop the router asked to watch is closed.
+      if (obs_ != nullptr && inbound.active() &&
+          obs_->peek_repair_trace(msg.file).trace == inbound.trace) {
+        obs_->clear_repair_trace(msg.file);
+      }
+    }
     for (const replica::UpdateKey& key : body.invalidated) {
       const replica::Update* held = node_.store().find(key);
       if (held != nullptr && !held->invalidated) {
@@ -204,15 +287,38 @@ void ReplicaSyncAgent::on_message(const net::Message& msg) {
       std::vector<replica::Update> back =
           node_.store().updates_ahead_of(body.sender_counts);
       if (!back.empty()) {
-        send_repair(msg.from, std::move(back), /*respond=*/false);
+        send_repair(msg.from, std::move(back), /*respond=*/false, inbound);
       }
     }
     return;
   }
   if (msg.type == kMigrateType) {
-    apply_batch(msg.payload.as<std::vector<replica::Update>>(),
-                stats_.migrate_updates_applied);
+    const std::size_t applied =
+        apply_batch(msg.payload.as<std::vector<replica::Update>>(),
+                    stats_.migrate_updates_applied);
+    if (applied > 0) {
+      meter_.add(agent_metrics().migrate_updates_applied, applied);
+    }
   }
+}
+
+void ReplicaSyncAgent::set_observability(obs::Observability* observability,
+                                         NodeId endpoint) {
+  obs_ = observability;
+  endpoint_ = endpoint;
+  meter_ = obs_ == nullptr ? obs::Meter()
+                           : obs_->endpoint_meter(endpoint);
+}
+
+void ReplicaSyncAgent::stamp_wire_span(net::Message& msg,
+                                       const obs::TraceContext& tc,
+                                       std::string_view span_name) {
+  obs::Tracer* tr = tracer();
+  if (tr == nullptr || !tc.active()) return;
+  const obs::TraceContext wire =
+      tr->begin_span(tc, span_name, endpoint_, msg.file, transport_.now());
+  msg.trace = wire.trace;
+  msg.span = wire.span;
 }
 
 }  // namespace idea::shard

@@ -31,10 +31,12 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/idea_node.hpp"
 #include "net/transport.hpp"
+#include "obs/observability.hpp"
 #include "vv/version_vector.hpp"
 
 namespace idea::shard {
@@ -88,8 +90,11 @@ class ReplicaSyncAgent final : public net::MessageHandler {
 
   /// Apply a write locally and push it to every other group member.
   /// Returns false (nothing applied, nothing pushed) while resolution
-  /// blocks updates, mirroring IdeaNode::write.
-  bool put(std::string content, double meta_delta);
+  /// blocks updates, mirroring IdeaNode::write.  A traced write (`tc`
+  /// active) records each replication push as a wire span of `tc`'s
+  /// trace, closed by the receiving rank at delivery.
+  bool put(std::string content, double meta_delta,
+           const obs::TraceContext& tc = {});
 
   /// Arm the periodic anti-entropy exchange (idempotent re-arm; 0 stops).
   /// Rounds rotate deterministically over the other ranks, so every pair
@@ -111,6 +116,15 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   void set_freshness_listener(FreshnessListener fn) {
     on_freshness_ = std::move(fn);
   }
+
+  /// Hook this rank into the deployment's observability: `endpoint` is
+  /// the rank's *global* endpoint id (node_.id() is the group rank), used
+  /// for the per-endpoint registry, span placement and log tags.  The
+  /// agent records replicate/AE/migrate metrics into the endpoint
+  /// registry, stamps wire spans onto traced messages, and adopts the
+  /// pending repair trace the router parks for stale reads (the
+  /// escalation→heal causal link).
+  void set_observability(obs::Observability* observability, NodeId endpoint);
 
   /// Stream a full state batch to every other rank as "shard.migrate"
   /// messages sharing one payload allocation.  Used by the cluster after
@@ -136,7 +150,16 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   std::size_t apply_batch(const std::vector<replica::Update>& updates,
                           std::uint64_t& applied_stat);
   void send_repair(NodeId to_rank, std::vector<replica::Update> updates,
-                   bool respond);
+                   bool respond, const obs::TraceContext& tc = {});
+
+  /// The deployment tracer (nullptr when untraced/unwired).
+  [[nodiscard]] obs::Tracer* tracer() const {
+    return obs_ == nullptr ? nullptr : obs_->tracer();
+  }
+  /// Open a wire span for `msg` under `tc` and stamp the trace/span ids
+  /// onto the message; no-op (message untouched) when untraced.
+  void stamp_wire_span(net::Message& msg, const obs::TraceContext& tc,
+                       std::string_view span_name);
 
   core::IdeaNode& node_;
   net::Transport& transport_;
@@ -145,6 +168,10 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   std::uint64_t anti_entropy_timer_ = 0;
   std::uint32_t ae_rotation_ = 0;  ///< Round-robin peer cursor.
   FreshnessListener on_freshness_;
+  obs::Observability* obs_ = nullptr;
+  NodeId endpoint_ = kNoNode;  ///< Global endpoint id of this rank.
+  obs::Meter meter_;           ///< This endpoint's registry (null = off).
+  std::uint64_t rounds_since_heal_ = 0;  ///< AE rounds since last repair.
 };
 
 }  // namespace idea::shard

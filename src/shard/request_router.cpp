@@ -7,6 +7,29 @@
 #include "shard/sharded_cluster.hpp"
 
 namespace idea::shard {
+namespace {
+
+/// The router's metric ids, interned once per process.
+struct RouterMetrics {
+  obs::MetricId reads = obs::MetricId::intern("router.reads");
+  obs::MetricId writes = obs::MetricId::intern("router.writes");
+  obs::MetricId escalated = obs::MetricId::intern("router.read.escalated");
+  obs::MetricId staleness_versions =
+      obs::MetricId::intern("router.read.staleness_versions");
+  obs::MetricId staleness_age_us =
+      obs::MetricId::intern("router.read.staleness_age_us");
+  obs::MetricId hint_age_us = obs::MetricId::intern("router.hint.age_us");
+  obs::MetricId migration_pinned =
+      obs::MetricId::intern("router.read.migration_pinned");
+  obs::MetricId read_served = obs::MetricId::intern("read.served");
+};
+
+const RouterMetrics& router_metrics() {
+  static const RouterMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<NodeId> RequestRouter::group_of(FileId file) const {
   return cluster_.group_of(file);
@@ -26,17 +49,24 @@ core::IdeaNode* RequestRouter::open(FileId file) {
 }
 
 bool RequestRouter::write(FileId file, std::string content,
-                          double meta_delta) {
+                          double meta_delta, const obs::TraceContext& tc) {
   if (open(file) == nullptr) return false;
   const auto [agent, endpoint] = cluster_.coordinator(file);
   if (agent == nullptr) return false;
   ++stats_.coordinator_ops[endpoint];
-  if (!agent->put(std::move(content), meta_delta)) {
+  if (!agent->put(std::move(content), meta_delta, tc)) {
     ++stats_.blocked_writes;
     return false;
   }
   ++stats_.writes;
+  if (obs::Observability* o = observability()) {
+    o->cluster_meter().add(router_metrics().writes);
+  }
   return true;
+}
+
+obs::Observability* RequestRouter::observability() const {
+  return cluster_.obs();
 }
 
 double RequestRouter::level(FileId file) const {
@@ -151,7 +181,8 @@ void RequestRouter::measure_staleness(core::IdeaNode& coordinator,
 }
 
 client::ReadResult RequestRouter::serve_single(FileId file, NodeId endpoint,
-                                               NodeId origin) {
+                                               NodeId origin,
+                                               const obs::TraceContext& tc) {
   client::ReadResult res;
   core::IdeaNode* node = cluster_.replica(file, endpoint);
   if (node == nullptr) return res;
@@ -160,12 +191,22 @@ client::ReadResult RequestRouter::serve_single(FileId file, NodeId endpoint,
   res.replicas_contacted = 1;
   res.latency = rtt(origin, endpoint);
   ++stats_.reads_served_by[endpoint];
+  if (obs::Observability* o = observability()) {
+    o->endpoint_meter(endpoint).add(router_metrics().read_served);
+    if (obs::Tracer* tr = o->tracer(); tr != nullptr && tc.active()) {
+      // The serve span covers the modeled round trip to the replica.
+      const SimTime now = cluster_.sim().now();
+      const obs::TraceContext span =
+          tr->begin_span(tc, "read.serve", endpoint, file, now);
+      tr->end_span(span.span, now + res.latency);
+    }
+  }
   return res;
 }
 
 client::ReadResult RequestRouter::serve_quorum(
     FileId file, const std::vector<NodeId>& members, NodeId origin,
-    std::uint32_t r) {
+    std::uint32_t r, const obs::TraceContext& tc) {
   // Fan out to the coordinator plus the r-1 nearest other replicas: the
   // write path acks at the coordinator (W = 1), so including it keeps
   // R ∩ W nonempty and the merged view can never miss an acked write.
@@ -253,12 +294,28 @@ client::ReadResult RequestRouter::serve_quorum(
   // The merge covers the coordinator, so the returned view never lags
   // it: staleness is 0 by construction.
   for (NodeId e : targets) ++stats_.reads_served_by[e];
+  if (obs::Observability* o = observability()) {
+    for (NodeId e : targets) {
+      o->endpoint_meter(e).add(router_metrics().read_served);
+    }
+    if (obs::Tracer* tr = o->tracer(); tr != nullptr && tc.active()) {
+      // One fan-out span per contacted replica, each covering its own
+      // modeled round trip.
+      const SimTime now = cluster_.sim().now();
+      for (NodeId e : targets) {
+        const obs::TraceContext span =
+            tr->begin_span(tc, "read.fanout", e, file, now);
+        tr->end_span(span.span, now + rtt(origin, e));
+      }
+    }
+  }
   return res;
 }
 
 client::ReadResult RequestRouter::read(FileId file,
                                        const client::ConsistencyLevel& level,
-                                       NodeId origin) {
+                                       NodeId origin,
+                                       const obs::TraceContext& tc) {
   core::IdeaNode* coordinator = open(file);
   if (coordinator == nullptr) return {};
   const std::vector<NodeId>* members = cluster_.members_of(file);
@@ -266,28 +323,45 @@ client::ReadResult RequestRouter::read(FileId file,
   const NodeId coord_ep = members->front();
   ++stats_.reads;
 
+  obs::Observability* o = observability();
+  obs::Meter meter = o == nullptr ? obs::Meter() : o->cluster_meter();
+  meter.add(router_metrics().reads);
+
+  // A traced read that observed real staleness parks its context so the
+  // anti-entropy rounds healing that staleness join the same span tree.
+  const auto record_staleness = [&](std::uint64_t versions,
+                                    SimDuration age) {
+    if (versions == 0) return;
+    meter.observe(router_metrics().staleness_versions, versions);
+    meter.observe(router_metrics().staleness_age_us,
+                  static_cast<std::uint64_t>(age));
+    if (o != nullptr && tc.active()) o->note_repair_trace(file, tc);
+  };
+
   switch (level.level) {
     case client::Level::kStrong: {
       ++stats_.strong_reads;
       ++stats_.coordinator_ops[coord_ep];
-      return serve_single(file, coord_ep, origin);
+      return serve_single(file, coord_ep, origin, tc);
     }
 
     case client::Level::kEventualNearest: {
       ++stats_.nearest_reads;
       if (in_migration_window(file)) {
         ++stats_.migration_window_reads;
-        client::ReadResult res = serve_single(file, coord_ep, origin);
+        meter.add(router_metrics().migration_pinned);
+        client::ReadResult res = serve_single(file, coord_ep, origin, tc);
         res.migration_window = true;
         return res;
       }
       const NodeId target =
           pick_replica(file, *members, origin, /*use_hints=*/false);
-      client::ReadResult res = serve_single(file, target, origin);
+      client::ReadResult res = serve_single(file, target, origin, tc);
       if (target != coord_ep) {
         core::IdeaNode* node = cluster_.replica(file, target);
         measure_staleness(*coordinator, *node, res.staleness_versions,
                           res.staleness_age);
+        record_staleness(res.staleness_versions, res.staleness_age);
       }
       return res;
     }
@@ -296,15 +370,26 @@ client::ReadResult RequestRouter::read(FileId file,
       ++stats_.bounded_reads;
       if (in_migration_window(file)) {
         ++stats_.migration_window_reads;
-        client::ReadResult res = serve_single(file, coord_ep, origin);
+        meter.add(router_metrics().migration_pinned);
+        client::ReadResult res = serve_single(file, coord_ep, origin, tc);
         res.migration_window = true;
         return res;
       }
       const NodeId candidate =
           pick_replica(file, *members, origin, /*use_hints=*/true);
+      // Age of the freshness hint that informed this selection — how
+      // stale the router's own routing input was at use time.
+      if (candidate != coord_ep && meter.enabled()) {
+        if (const Freshness* hint = find_hint(file, candidate)) {
+          const SimTime now = cluster_.sim().now();
+          meter.observe(router_metrics().hint_age_us,
+                        static_cast<std::uint64_t>(
+                            now > hint->at ? now - hint->at : 0));
+        }
+      }
       if (candidate == coord_ep) {
         ++stats_.coordinator_ops[coord_ep];
-        return serve_single(file, coord_ep, origin);
+        return serve_single(file, coord_ep, origin, tc);
       }
       core::IdeaNode* node = cluster_.replica(file, candidate);
       std::uint64_t versions = 0;
@@ -316,14 +401,21 @@ client::ReadResult RequestRouter::read(FileId file,
         // probe plus the coordinator round trip.
         ++stats_.bounded_escalations;
         ++stats_.coordinator_ops[coord_ep];
-        client::ReadResult res = serve_single(file, coord_ep, origin);
+        meter.add(router_metrics().escalated);
+        record_staleness(versions, age);
+        if (o != nullptr && tc.active() && o->tracer() != nullptr) {
+          o->tracer()->instant(tc, "read.escalate", candidate, file,
+                               cluster_.sim().now());
+        }
+        client::ReadResult res = serve_single(file, coord_ep, origin, tc);
         res.latency += rtt(origin, candidate);
         res.escalated = true;
         return res;
       }
-      client::ReadResult res = serve_single(file, candidate, origin);
+      client::ReadResult res = serve_single(file, candidate, origin, tc);
       res.staleness_versions = versions;
       res.staleness_age = age;
+      record_staleness(versions, age);
       return res;
     }
 
@@ -333,7 +425,7 @@ client::ReadResult RequestRouter::read(FileId file,
       std::uint32_t r = level.quorum_r == 0 ? k / 2 + 1 : level.quorum_r;
       r = std::min(std::max<std::uint32_t>(r, 1), k);
       ++stats_.coordinator_ops[coord_ep];
-      client::ReadResult res = serve_quorum(file, *members, origin, r);
+      client::ReadResult res = serve_quorum(file, *members, origin, r, tc);
       res.migration_window = in_migration_window(file);
       return res;
     }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "client/consistency.hpp"
+#include "obs/observability.hpp"
 #include "replica/update.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -105,14 +106,21 @@ class RequestRouter {
   // ------------------------------------------------------------------
 
   /// Route a write to the file's coordinator, which replicates it to the
-  /// group.  Opens the file on first touch.
-  bool write(FileId file, std::string content, double meta_delta);
+  /// group.  Opens the file on first touch.  A traced write (`tc` active)
+  /// has its replication fan-out recorded under `tc`'s trace.
+  bool write(FileId file, std::string content, double meta_delta,
+             const obs::TraceContext& tc = {});
 
   /// Route a read under `level` from a client attached at `origin`.
-  /// Returns an empty result (ok() == false) on an empty ring.
+  /// Returns an empty result (ok() == false) on an empty ring.  A traced
+  /// read (`tc` active) records serve/escalate/fan-out decision spans,
+  /// and a traced read that observes staleness parks `tc` as the file's
+  /// pending repair trace so the healing anti-entropy round joins the
+  /// span tree.
   [[nodiscard]] client::ReadResult read(FileId file,
                                         const client::ConsistencyLevel& level,
-                                        NodeId origin);
+                                        NodeId origin,
+                                        const obs::TraceContext& tc = {});
 
   // ------------------------------------------------------------------
   // Routing inputs (fed by the shard layer)
@@ -170,12 +178,16 @@ class RequestRouter {
   void measure_staleness(core::IdeaNode& coordinator, core::IdeaNode& replica,
                          std::uint64_t& versions, SimDuration& age) const;
 
-  [[nodiscard]] client::ReadResult serve_single(FileId file, NodeId endpoint,
-                                                NodeId origin);
+  [[nodiscard]] client::ReadResult serve_single(
+      FileId file, NodeId endpoint, NodeId origin,
+      const obs::TraceContext& tc = {});
 
   [[nodiscard]] client::ReadResult serve_quorum(
       FileId file, const std::vector<NodeId>& members, NodeId origin,
-      std::uint32_t r);
+      std::uint32_t r, const obs::TraceContext& tc = {});
+
+  /// The deployment's observability (nullptr when disabled).
+  [[nodiscard]] obs::Observability* observability() const;
 
   ShardedCluster& cluster_;
   RouterStats stats_;

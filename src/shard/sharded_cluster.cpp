@@ -12,12 +12,20 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
   // sync_sizes() would otherwise hand the latency model a smaller node
   // count and read out of bounds on the first cross-endpoint message.
   config_.sync_sizes();
+  if (config_.observability.enabled) {
+    obs_ = std::make_unique<obs::Observability>(config_.endpoints,
+                                                config_.observability);
+  }
   latency_ = std::make_unique<sim::PlanetLabLatency>(config_.latency);
   sim_transport_ = std::make_unique<net::SimTransport>(
       sim_, *latency_, config_.transport);
   if (config_.batching) {
     batching_ = std::make_unique<net::BatchingTransport>(*sim_transport_,
                                                          config_.batch);
+  }
+  if (obs_ != nullptr) {
+    sim_.set_metrics(obs_->cluster_meter());
+    if (batching_ != nullptr) batching_->set_metrics(obs_->cluster_meter());
   }
   services_.reserve(config_.endpoints);
   incarnations_.assign(config_.endpoints, 0);
@@ -75,6 +83,9 @@ ShardedCluster::FileGroup& ShardedCluster::open_group(
     transport->set_sink(&node.dispatcher());
     group.sync.push_back(
         std::make_unique<ReplicaSyncAgent>(node, *transport, k));
+    if (obs_ != nullptr) {
+      group.sync.back()->set_observability(obs_.get(), group.members[rank]);
+    }
     // Freshness hints piggyback on the anti-entropy digest/repair
     // exchange: whenever this rank learns a peer's version count, the
     // router's per-(file, endpoint) hint table learns it too, feeding
@@ -141,6 +152,9 @@ MembershipChange ShardedCluster::add_endpoint() {
       id, edge(),
       mix64(config_.seed ^ (0x5E4D1CEULL + id) ^
             (static_cast<std::uint64_t>(incarnation) << 40)));
+  if (obs_ != nullptr) {
+    obs_->ensure_endpoints(static_cast<std::uint32_t>(services_.size()));
+  }
 
   MembershipChange change;
   change.endpoint = id;
@@ -220,7 +234,15 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
           services_[group.members.front()]->find(file);
       coordinator->store().import_log(snapshot);
       change.state_updates += snapshot.size();
-      change.stream_messages += group.sync.front()->stream_state(snapshot);
+      const std::size_t streamed = group.sync.front()->stream_state(snapshot);
+      change.stream_messages += streamed;
+      if (obs_ != nullptr) {
+        obs::Meter meter = obs_->cluster_meter();
+        meter.add(obs::MetricId::intern("shard.migrate.state_updates"),
+                  snapshot.size());
+        meter.add(obs::MetricId::intern("shard.migrate.stream_messages"),
+                  streamed);
+      }
       // Until the stream lands, the other ranks of the new group are
       // cold; tell the router so policy reads pin to the already-warm
       // new coordinator for the window.  Two one-way trips (batching
@@ -231,10 +253,19 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
           horizon = std::max(horizon, latency_->mean(group.members.front(),
                                                      group.members[rank]));
         }
-        router_->note_migration(file, sim_.now() + 2 * horizon + msec(100));
+        const SimDuration window = 2 * horizon + msec(100);
+        router_->note_migration(file, sim_.now() + window);
+        if (obs_ != nullptr) {
+          obs_->cluster_meter().observe(
+              obs::MetricId::intern("shard.migration_pin_us"),
+              static_cast<std::uint64_t>(window));
+        }
       }
     }
     ++change.files_migrated;
+    if (obs_ != nullptr) {
+      obs_->cluster_meter().add(obs::MetricId::intern("shard.migrations"));
+    }
   }
 }
 

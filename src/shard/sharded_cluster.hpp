@@ -33,6 +33,7 @@
 #include "core/service.hpp"
 #include "net/batching_transport.hpp"
 #include "net/sim_transport.hpp"
+#include "obs/observability.hpp"
 #include "shard/group_transport.hpp"
 #include "shard/hash_ring.hpp"
 #include "shard/replica_sync.hpp"
@@ -56,6 +57,11 @@ struct ShardedClusterConfig {
   /// (the default keeps fixed-seed replays of push-only deployments
   /// byte-identical with earlier captures).
   SimDuration anti_entropy_period = 0;
+  /// Cluster-wide observability (metrics registries + causal tracing).
+  /// Off by default; enabling it is behavior-neutral — recording draws no
+  /// RNG and sends no messages, so fixed-seed replays stay byte-identical
+  /// (the determinism goldens run with it on).
+  obs::ObservabilityConfig observability;
 
   ShardedClusterConfig() { sync_sizes(); }
 
@@ -209,6 +215,9 @@ class ShardedCluster {
   /// The policy-driven request router every session operation funnels
   /// through (replica selection, freshness hints, migration awareness).
   [[nodiscard]] RequestRouter& router() { return *router_; }
+  /// The deployment's observability surface; nullptr when
+  /// config.observability.enabled is false.
+  [[nodiscard]] obs::Observability* obs() { return obs_.get(); }
   [[nodiscard]] HashRing& ring() { return ring_; }
   [[nodiscard]] const HashRing& ring() const { return ring_; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
@@ -260,6 +269,9 @@ class ShardedCluster {
                               MembershipChange& change);
 
   ShardedClusterConfig config_;
+  /// Declared before everything else: sync agents, the router and the
+  /// transports hold Meters/pointers into it, so it must be destroyed last.
+  std::unique_ptr<obs::Observability> obs_;
   sim::Simulator sim_;
   std::unique_ptr<sim::PlanetLabLatency> latency_;
   std::unique_ptr<net::SimTransport> sim_transport_;

@@ -158,6 +158,9 @@ bool Simulator::step() {
     now_ = entry.time;
     ++events_processed_;
     --live_;
+    if (meter_.enabled() && (events_processed_ & 0x3F) == 0) {
+      meter_.observe(queue_depth_metric_, live_);
+    }
     if (slots_[entry.slot].period > 0) {
       // Steal the callback for the call: the callback may schedule events
       // and reallocate slots_, and must observe a consistent slot if it
@@ -221,6 +224,13 @@ void Simulator::run_until(SimTime t) {
     if (!step()) break;
   }
   if (now_ < t) now_ = t;
+}
+
+void Simulator::set_metrics(obs::Meter meter) {
+  meter_ = meter;
+  if (meter_.enabled()) {
+    queue_depth_metric_ = obs::MetricId::intern("sim.queue_depth");
+  }
 }
 
 }  // namespace idea::sim

@@ -25,6 +25,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/time.hpp"
 
 namespace idea::sim {
@@ -84,6 +85,12 @@ class Simulator {
   /// pool_size() + pending() slots, bounded by the historical high-water
   /// mark of concurrently pending events, not by events ever scheduled).
   [[nodiscard]] std::size_t pool_size() const { return slots_.size(); }
+
+  /// Install a metrics sink: step() samples the event-queue depth into the
+  /// "sim.queue_depth" histogram every 64 events (pure recording — sampling
+  /// on the event counter keeps the cost off the per-event path and the
+  /// samples identical across fixed-seed runs).
+  void set_metrics(obs::Meter meter);
 
  private:
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
@@ -175,6 +182,8 @@ class Simulator {
   std::uint64_t next_key_ = 1;
   std::uint64_t events_processed_ = 0;
   std::size_t live_ = 0;
+  obs::Meter meter_;
+  obs::MetricId queue_depth_metric_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
   EventHeap queue_;

@@ -13,6 +13,8 @@ Log::Sink g_sink;  // empty => stderr default
 void default_sink(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", Log::level_name(level), msg.c_str());
 }
+
+thread_local LogTags g_tags;
 }  // namespace
 
 LogLevel Log::threshold() {
@@ -31,13 +33,46 @@ Log::Sink Log::set_sink(Sink sink) {
 }
 
 void Log::write(LogLevel level, const std::string& message) {
+  // With tags set, prefix the structured context; without (the default)
+  // the line is untouched, keeping pre-tagging output byte-identical.
+  const std::string* out = &message;
+  std::string tagged;
+  if (g_tags.any()) {
+    tagged.reserve(message.size() + 48);
+    tagged += '[';
+    if (g_tags.sim_time >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "t=%.6fs",
+                    static_cast<double>(g_tags.sim_time) / 1e6);
+      tagged += buf;
+    }
+    if (g_tags.endpoint != kNoNode) {
+      if (tagged.size() > 1) tagged += ' ';
+      tagged += "n=";
+      tagged += std::to_string(g_tags.endpoint);
+    }
+    if (g_tags.trace != 0) {
+      if (tagged.size() > 1) tagged += ' ';
+      tagged += "trace=";
+      tagged += std::to_string(g_tags.trace);
+    }
+    tagged += "] ";
+    tagged += message;
+    out = &tagged;
+  }
   std::scoped_lock lock(g_sink_mu);
   if (g_sink) {
-    g_sink(level, message);
+    g_sink(level, *out);
   } else {
-    default_sink(level, message);
+    default_sink(level, *out);
   }
 }
+
+void Log::set_tags(const LogTags& tags) { g_tags = tags; }
+
+void Log::clear_tags() { g_tags = LogTags{}; }
+
+LogTags Log::tags() { return g_tags; }
 
 const char* Log::level_name(LogLevel level) {
   switch (level) {

@@ -1,0 +1,224 @@
+/// \file metrics_test.cpp
+/// \brief Unit tests for the deterministic metrics substrate: MetricId
+///        interning, power-of-two histograms, registries, the null-sink
+///        Meter, and the Observability facade's aggregation + export.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
+
+namespace idea::obs {
+namespace {
+
+TEST(MetricId, InternIsIdempotentAndLookupFindsIt) {
+  const MetricId a = MetricId::intern("test.metric.alpha");
+  const MetricId b = MetricId::intern("test.metric.alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.name(), "test.metric.alpha");
+  EXPECT_EQ(MetricId::lookup("test.metric.alpha"), a);
+
+  const MetricId c = MetricId::intern("test.metric.beta");
+  EXPECT_NE(a, c);
+}
+
+TEST(MetricId, LookupOfUnknownNameIsInvalid) {
+  const MetricId m = MetricId::lookup("test.metric.never-interned");
+  EXPECT_FALSE(m.valid());
+  EXPECT_EQ(m.name(), "?");
+  EXPECT_EQ(m, MetricId());
+}
+
+TEST(HistogramTest, BucketAssignmentIsPowerOfTwo) {
+  Histogram h;
+  h.observe(0);  // bucket 0 is reserved for exactly zero
+  h.observe(1);  // [1, 2) -> bucket 1
+  h.observe(2);  // [2, 4) -> bucket 2
+  h.observe(3);
+  h.observe(4);  // [4, 8) -> bucket 3
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 10u);
+  EXPECT_EQ(h.max, 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(HistogramTest, HugeValuesClampIntoLastBucket) {
+  Histogram h;
+  h.observe(UINT64_MAX);
+  EXPECT_EQ(h.buckets[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.max, UINT64_MAX);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.observe(1000);  // all in [512, 1024)
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  // The quantile never exceeds the recorded maximum's bucket ceiling.
+  EXPECT_LE(h.quantile(1.0), 1024.0);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndKeepsMax) {
+  Histogram a;
+  Histogram b;
+  a.observe(1);
+  a.observe(100);
+  b.observe(1);
+  b.observe(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 1u + 100u + 1u + 5000u);
+  EXPECT_EQ(a.max, 5000u);
+  EXPECT_EQ(a.buckets[1], 2u);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  const MetricId c = MetricId::intern("test.reg.counter");
+  const MetricId g = MetricId::intern("test.reg.gauge");
+  const MetricId h = MetricId::intern("test.reg.hist");
+
+  MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  r.add(c);
+  r.add(c, 4);
+  r.set_gauge(g, -7);
+  r.observe(h, 42);
+  EXPECT_FALSE(r.empty());
+
+  EXPECT_EQ(r.counter(c), 5u);
+  EXPECT_EQ(r.gauge(g), -7);
+  ASSERT_NE(r.histogram(h), nullptr);
+  EXPECT_EQ(r.histogram(h)->count, 1u);
+  EXPECT_EQ(r.counter(MetricId::intern("test.reg.other")), 0u);
+  EXPECT_EQ(r.histogram(MetricId::intern("test.reg.other2")), nullptr);
+
+  const auto by_name = r.counters_by_name();
+  ASSERT_EQ(by_name.count("test.reg.counter"), 1u);
+  EXPECT_EQ(by_name.at("test.reg.counter"), 5u);
+}
+
+TEST(MetricsRegistry, MergeFoldsAllKinds) {
+  const MetricId c = MetricId::intern("test.merge.counter");
+  const MetricId g = MetricId::intern("test.merge.gauge");
+  const MetricId h = MetricId::intern("test.merge.hist");
+
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.add(c, 2);
+  b.add(c, 3);
+  b.set_gauge(g, 11);
+  a.observe(h, 8);
+  b.observe(h, 16);
+  a.merge(b);
+
+  EXPECT_EQ(a.counter(c), 5u);
+  EXPECT_EQ(a.gauge(g), 11);
+  ASSERT_NE(a.histogram(h), nullptr);
+  EXPECT_EQ(a.histogram(h)->count, 2u);
+}
+
+TEST(MetricsRegistry, JsonExportIsByteDeterministic) {
+  const MetricId c1 = MetricId::intern("test.json.b");
+  const MetricId c2 = MetricId::intern("test.json.a");
+  const MetricId h = MetricId::intern("test.json.hist");
+
+  auto build = [&] {
+    MetricsRegistry r;
+    r.add(c1, 7);
+    r.add(c2, 9);
+    r.observe(h, 3);
+    r.observe(h, 300);
+    std::string out;
+    r.append_json(out, "");
+    return out;
+  };
+  const std::string first = build();
+  const std::string second = build();
+  EXPECT_EQ(first, second);
+  // Name-sorted: "test.json.a" appears before "test.json.b".
+  EXPECT_LT(first.find("test.json.a"), first.find("test.json.b"));
+}
+
+TEST(MeterTest, NullMeterIsInertAndCheap) {
+  const MetricId c = MetricId::intern("test.meter.counter");
+  Meter null_meter;
+  EXPECT_FALSE(null_meter.enabled());
+  null_meter.add(c);
+  null_meter.set_gauge(c, 5);
+  null_meter.observe(c, 5);  // must not crash, must not record anywhere
+
+  MetricsRegistry r;
+  Meter live(&r);
+  EXPECT_TRUE(live.enabled());
+  live.add(c, 2);
+  EXPECT_EQ(r.counter(c), 2u);
+}
+
+TEST(ObservabilityTest, PerEndpointRegistriesAndAggregate) {
+  const MetricId c = MetricId::intern("test.obs.counter");
+  Observability obs(3, ObservabilityConfig{.enabled = true});
+  EXPECT_EQ(obs.endpoint_count(), 3u);
+  EXPECT_EQ(obs.tracer(), nullptr);  // tracing off
+
+  obs.cluster_meter().add(c, 1);
+  obs.endpoint_meter(0).add(c, 10);
+  obs.endpoint_meter(2).add(c, 100);
+
+  const MetricsRegistry agg = obs.aggregate();
+  EXPECT_EQ(agg.counter(c), 111u);
+
+  // Elastic growth: touching a new endpoint id grows the deque without
+  // invalidating earlier registries.
+  obs.endpoint_meter(5).add(c, 1000);
+  EXPECT_EQ(obs.endpoint_count(), 6u);
+  EXPECT_EQ(obs.endpoint(0).counter(c), 10u);
+  EXPECT_EQ(obs.aggregate().counter(c), 1111u);
+}
+
+TEST(ObservabilityTest, ExportIsByteDeterministic) {
+  const MetricId c = MetricId::intern("test.obs.export");
+  auto build = [&] {
+    Observability obs(2, ObservabilityConfig{.enabled = true});
+    obs.cluster_meter().add(c, 3);
+    obs.endpoint_meter(1).observe(MetricId::intern("test.obs.hist"), 17);
+    return obs.export_metrics_json();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  EXPECT_NE(a.find("\"cluster\""), std::string::npos);
+  EXPECT_NE(a.find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(a.find("\"endpoints\""), std::string::npos);
+}
+
+TEST(ObservabilityTest, RepairTraceParkPeekClear) {
+  Observability obs(1, ObservabilityConfig{.enabled = true, .tracing = true});
+  ASSERT_NE(obs.tracer(), nullptr);
+
+  EXPECT_FALSE(obs.peek_repair_trace(7).active());
+  const TraceContext tc{42, 3};
+  obs.note_repair_trace(7, tc);
+  // Peek does not consume: every AE round until the heal sees it.
+  EXPECT_EQ(obs.peek_repair_trace(7).trace, 42u);
+  EXPECT_EQ(obs.peek_repair_trace(7).trace, 42u);
+  EXPECT_FALSE(obs.peek_repair_trace(8).active());
+
+  // Inactive contexts are never parked.
+  obs.note_repair_trace(8, TraceContext{});
+  EXPECT_FALSE(obs.peek_repair_trace(8).active());
+
+  obs.clear_repair_trace(7);
+  EXPECT_FALSE(obs.peek_repair_trace(7).active());
+}
+
+}  // namespace
+}  // namespace idea::obs

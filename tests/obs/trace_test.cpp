@@ -1,0 +1,230 @@
+/// \file trace_test.cpp
+/// \brief Causal-tracing tests: tracer unit behavior, then the
+///        cross-endpoint integration the ISSUE demands — one traced client
+///        operation's span tree crossing coordinator replication, quorum
+///        fan-out, and (under scripted loss) the anti-entropy round that
+///        repairs the staleness the read observed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/session.hpp"
+#include "obs/observability.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::obs {
+namespace {
+
+TEST(Tracer, SpanTreeRecordsParentageAndTimes) {
+  Tracer tr;
+  const TraceContext root = tr.start_trace("op", 1, 7, 100);
+  ASSERT_TRUE(root.active());
+  const TraceContext child = tr.begin_span(root, "hop", 2, 7, 150);
+  ASSERT_TRUE(child.active());
+  EXPECT_EQ(child.trace, root.trace);
+  tr.end_span(child.span, 250);
+  tr.end_span(root.span, 300);
+  tr.end_span(child.span, 999);  // idempotent: first close wins
+
+  const auto spans = tr.trace_spans(root.trace);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, root.span);
+  EXPECT_EQ(spans[1].start, 150);
+  EXPECT_EQ(spans[1].end, 250);
+  EXPECT_TRUE(spans[0].finished());
+  EXPECT_EQ(tr.traces_started(), 1u);
+}
+
+TEST(Tracer, InactiveParentRecordsNothing) {
+  Tracer tr;
+  const TraceContext none = tr.begin_span(TraceContext{}, "hop", 1, 1, 0);
+  EXPECT_FALSE(none.active());
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Tracer, ChromeExportMarksUnfinishedSpansAsLost) {
+  Tracer tr;
+  const TraceContext root = tr.start_trace("op", 0, 1, 10);
+  tr.begin_span(root, "msg.lost", 1, 1, 20);  // never closed
+  tr.end_span(root.span, 50);
+
+  const std::string json = tr.export_chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"lost\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"lost\": false"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Integration: spans across the sharded cluster.
+// ---------------------------------------------------------------------
+
+shard::ShardedClusterConfig traced_config(std::uint32_t endpoints) {
+  shard::ShardedClusterConfig cfg;
+  cfg.endpoints = endpoints;
+  cfg.replication = 3;
+  cfg.batching = true;
+  cfg.seed = 2007;
+  cfg.anti_entropy_period = sec(1);
+  cfg.observability.enabled = true;
+  cfg.observability.tracing = true;
+  cfg.sync_sizes();
+  return cfg;
+}
+
+std::set<NodeId> endpoints_of(const std::vector<SpanRecord>& spans) {
+  std::set<NodeId> out;
+  for (const SpanRecord& s : spans) out.insert(s.endpoint);
+  return out;
+}
+
+bool has_span(const std::vector<SpanRecord>& spans, std::string_view name) {
+  return std::any_of(spans.begin(), spans.end(), [&](const SpanRecord& s) {
+    return s.name == name;
+  });
+}
+
+/// Every non-root span's parent must be an earlier span of the same trace.
+void expect_valid_parent_chain(const std::vector<SpanRecord>& spans) {
+  std::set<std::uint32_t> ids;
+  for (const SpanRecord& s : spans) ids.insert(s.id);
+  for (const SpanRecord& s : spans) {
+    if (s.parent != 0) {
+      EXPECT_TRUE(ids.count(s.parent))
+          << "span " << s.id << " (" << s.name << ") has dangling parent "
+          << s.parent;
+    }
+  }
+}
+
+TEST(TraceIntegration, TracedPutSpansCoordinatorReplication) {
+  shard::ShardedCluster cluster(traced_config(4));
+  ASSERT_NE(cluster.obs(), nullptr);
+  ASSERT_NE(cluster.obs()->tracer(), nullptr);
+
+  client::Client client(cluster);
+  client::ClientSession session = client.session();
+  const FileId file = 1;
+  session.open(file);
+  session.put(file, "hello");
+  cluster.run_for(sec(1));
+
+  Tracer& tr = *cluster.obs()->tracer();
+  ASSERT_GE(tr.traces_started(), 1u);
+  const auto spans = tr.trace_spans(1);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().name, "session.put");
+  EXPECT_TRUE(has_span(spans, "msg.shard.replicate"));
+  EXPECT_TRUE(has_span(spans, "replicate.apply"));
+  expect_valid_parent_chain(spans);
+
+  // The replication fan-out crosses endpoints: the coordinator's pushes
+  // land (and close their wire spans) on the other group members.
+  std::size_t finished_wire_spans = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "msg.shard.replicate" && s.finished()) {
+      ++finished_wire_spans;
+      EXPECT_GT(s.end, s.start);  // flight time is the modeled latency
+    }
+  }
+  EXPECT_EQ(finished_wire_spans, 2u);  // replication = 3 -> 2 pushes
+}
+
+TEST(TraceIntegration, QuorumReadFansOutAcrossReplicas) {
+  shard::ShardedCluster cluster(traced_config(4));
+  client::Client client(cluster);
+  client::ClientSession session =
+      client.session({.level = client::ConsistencyLevel::quorum()});
+  const FileId file = 1;
+  session.open(file);
+  session.put(file, "payload");
+  cluster.run_for(sec(1));
+  session.read(file);
+
+  Tracer& tr = *cluster.obs()->tracer();
+  // Trace 1 = the put, trace 2 = the read.
+  const auto spans = tr.trace_spans(2);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().name, "session.read");
+  std::size_t fanout = 0;
+  std::set<NodeId> contacted;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "read.fanout") {
+      ++fanout;
+      contacted.insert(s.endpoint);
+    }
+  }
+  EXPECT_EQ(fanout, 2u);  // majority of 3 = 2 replicas contacted
+  EXPECT_EQ(contacted.size(), 2u);
+  expect_valid_parent_chain(spans);
+}
+
+/// The acceptance-criterion scenario: a write whose replication pushes are
+/// lost to a scripted drop window leaves a replica stale; a traced bounded
+/// read served near that replica escalates, parks its trace, and the
+/// anti-entropy digest/repair round that finally heals the replica joins
+/// the same span tree — which therefore crosses >= 3 endpoints.
+TEST(TraceIntegration, EscalatedReadSpanTreeReachesAntiEntropyRepair) {
+  shard::ShardedCluster cluster(traced_config(4));
+  const FileId file = 1;
+  const std::vector<NodeId> group = cluster.group_of(file);
+  ASSERT_EQ(group.size(), 3u);
+  const NodeId coordinator = group[0];
+  const NodeId nearby = group[1];  // client sits on a non-coordinator
+
+  client::Client client(cluster);
+  client::ClientSession session = client.session(
+      {.level = client::ConsistencyLevel::bounded_staleness(0),
+       .origin = nearby});
+  session.open(file);
+
+  // Lose the replication pushes: the coordinator applies the write, every
+  // other replica goes stale until anti-entropy heals it.
+  cluster.transport().add_drop_window(cluster.sim().now(),
+                                      cluster.sim().now() + msec(500));
+  session.put(file, "only-the-coordinator-sees-this");
+  cluster.run_for(msec(600));
+
+  auto read = session.read(file);
+  EXPECT_TRUE(read.value().escalated);
+  EXPECT_EQ(read.value().served_by, coordinator);
+
+  // Let anti-entropy run; the parked repair trace tags the digest/repair
+  // exchange until a repair actually applies updates at a stale replica.
+  cluster.run_for(sec(5));
+
+  Tracer& tr = *cluster.obs()->tracer();
+  // Trace 1 = put, trace 2 = the escalated read.
+  const auto spans = tr.trace_spans(2);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().name, "session.read");
+  EXPECT_TRUE(has_span(spans, "read.escalate"));
+  EXPECT_TRUE(has_span(spans, "read.serve"));
+  EXPECT_TRUE(has_span(spans, "msg.shard.digest"));
+  EXPECT_TRUE(has_span(spans, "msg.shard.repair"));
+  EXPECT_TRUE(has_span(spans, "ae.repair.apply"));
+  expect_valid_parent_chain(spans);
+
+  // The tree crosses the router's serving/escalation endpoints AND the
+  // anti-entropy participants: >= 3 distinct endpoints beyond the client.
+  std::set<NodeId> eps = endpoints_of(spans);
+  eps.erase(nearby);  // the client-origin root span
+  EXPECT_GE(eps.size(), 2u);
+  eps.insert(nearby);
+  EXPECT_GE(eps.size(), 3u);
+
+  // The heal cleared the parked trace: later AE rounds are untagged.
+  EXPECT_FALSE(cluster.obs()->peek_repair_trace(file).active());
+
+  // The put's lost pushes are visible in the export.
+  const std::string json = tr.export_chrome_trace();
+  EXPECT_NE(json.find("\"lost\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idea::obs
