@@ -64,6 +64,18 @@ void SimTransport::deliver_slot(std::uint32_t slot) {
   Message msg = std::move(in_flight_[slot]);
   in_flight_[slot] = Message{};
   free_slots_.push_back(slot);
+  // Crash-stop semantics act on the whole flight, not just the send
+  // instant: a message in the air when either endpoint dies is lost with
+  // the connection, even if the endpoint revived before the delivery
+  // would have landed.
+  if (!crash_windows_.empty()) {
+    const SimTime now = sim_.now();
+    if (crash_overlaps_flight(msg.from, msg.sent_at, now) ||
+        crash_overlaps_flight(msg.to, msg.sent_at, now)) {
+      ++fault_dropped_;
+      return;
+    }
+  }
   if (msg.to < handlers_.size() && handlers_[msg.to] != nullptr) {
     handlers_[msg.to]->on_message(msg);
   }
@@ -97,11 +109,52 @@ bool SimTransport::fault_drops(const Message& msg) const {
       partitions_.count(pair_key(msg.from, msg.to)) > 0) {
     return true;
   }
+  if (!crash_windows_.empty()) {
+    const SimTime now = sim_.now();
+    if (node_crashed(msg.from, now) || node_crashed(msg.to, now)) {
+      return true;
+    }
+  }
   if (!drop_windows_.empty()) {
     const SimTime now = sim_.now();
     for (const auto& [from, until] : drop_windows_) {
       if (now >= from && now < until) return true;
     }
+  }
+  return false;
+}
+
+void SimTransport::crash_node(NodeId node, SimTime at) {
+  auto& windows = crash_windows_[node];
+  if (!windows.empty() && windows.back().second == kNever) return;
+  windows.emplace_back(at, kNever);
+}
+
+void SimTransport::revive_node(NodeId node, SimTime at) {
+  auto it = crash_windows_.find(node);
+  if (it == crash_windows_.end() || it->second.empty()) return;
+  auto& open = it->second.back();
+  if (open.second == kNever && at > open.first) open.second = at;
+}
+
+bool SimTransport::node_crashed(NodeId node, SimTime at) const {
+  auto it = crash_windows_.find(node);
+  if (it == crash_windows_.end()) return false;
+  for (const auto& [from, until] : it->second) {
+    if (at >= from && at < until) return true;
+  }
+  return false;
+}
+
+bool SimTransport::crash_overlaps_flight(NodeId node, SimTime sent,
+                                         SimTime now) const {
+  auto it = crash_windows_.find(node);
+  if (it == crash_windows_.end()) return false;
+  for (const auto& [from, until] : it->second) {
+    // Window [from, until) vs flight [sent, now]: disjoint only when the
+    // node revived before (or exactly when) the message left, or crashed
+    // strictly after it landed.
+    if (from <= now && until > sent) return true;
   }
   return false;
 }

@@ -23,6 +23,7 @@
 /// clean runs stay replay-comparable.
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -91,6 +92,25 @@ class SimTransport final : public Transport {
     return partitions_.count(pair_key(a, b)) > 0;
   }
 
+  /// Crash `node` at `at` (crash-stop): *all* traffic to or from it is
+  /// lost until a matching revive_node() — sends while it is down, and,
+  /// unlike drop windows, messages already in flight when the crash hits
+  /// (a dead endpoint's connections break; nothing it had on the wire
+  /// lands, nothing addressed to it is accepted).  A message whose flight
+  /// overlaps any part of a crash window of either endpoint drops.  Like
+  /// the other scripted faults this never perturbs the RNG stream: the
+  /// loss/latency draws happen first, the crash check only discards.
+  /// Counted in fault_dropped().
+  void crash_node(NodeId node, SimTime at);
+
+  /// Close `node`'s open crash window at `at`: traffic sent at or after
+  /// `at` flows again (in-flight traffic that overlapped the window is
+  /// still lost).  No-op if the node is not down.
+  void revive_node(NodeId node, SimTime at);
+
+  /// Whether `node` is inside a crash window at `at`.
+  [[nodiscard]] bool node_crashed(NodeId node, SimTime at) const;
+
   /// Messages dropped by scripted faults (not counted in dropped()).
   [[nodiscard]] std::uint64_t fault_dropped() const { return fault_dropped_; }
 
@@ -108,6 +128,10 @@ class SimTransport final : public Transport {
   }
 
   [[nodiscard]] bool fault_drops(const Message& msg) const;
+
+  /// Whether any crash window of `node` overlaps the flight [sent, now].
+  [[nodiscard]] bool crash_overlaps_flight(NodeId node, SimTime sent,
+                                           SimTime now) const;
 
   void deliver_slot(std::uint32_t slot);
 
@@ -129,6 +153,10 @@ class SimTransport final : public Transport {
   // over windows and a small hash set of pair keys is plenty.
   std::vector<std::pair<SimTime, SimTime>> drop_windows_;  ///< [from, until)
   std::unordered_set<std::uint64_t> partitions_;
+  /// Crash windows per node, [at, until) with until == kNever while the
+  /// node is still down.  Empty map = zero cost on the send/deliver path.
+  std::unordered_map<NodeId, std::vector<std::pair<SimTime, SimTime>>>
+      crash_windows_;
   std::uint64_t fault_dropped_ = 0;
 };
 

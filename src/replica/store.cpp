@@ -98,12 +98,35 @@ std::vector<Update> ReplicaStore::export_log() const {
   return out;
 }
 
-std::size_t ReplicaStore::import_log(const std::vector<Update>& updates) {
+ReplicaStore::ImportReport ReplicaStore::import_log(
+    const std::vector<Update>& updates) {
+  ImportReport report;
   const std::size_t before = log_.size();
-  for (const Update& u : updates) apply_remote(u);
-  // An exported log is per-writer complete, so nothing can be left parked
-  // in the reorder buffer on account of this batch alone.
-  return log_.size() - before;
+  for (const Update& u : updates) {
+    auto it = log_.find(u.key);
+    if (it != log_.end()) {
+      if (u.invalidated && !it->second.invalidated) {
+        it->second.invalidated = true;
+        recompute_meta();
+        ++report.invalidation_merges;
+      } else {
+        ++report.duplicates;
+      }
+      continue;
+    }
+    if (u.key.seq <= evv_.count_of(u.key.writer)) {
+      // Covered by the counts but absent from the log — a hole rollback
+      // can leave; nothing to (re)apply.
+      ++report.duplicates;
+      continue;
+    }
+    apply_remote(u);
+  }
+  // An exported log is per-writer complete, so nothing from this batch
+  // stays parked in the reorder buffer; the size delta also counts any
+  // previously parked successors the batch unblocked.
+  report.applied = log_.size() - before;
+  return report;
 }
 
 bool ReplicaStore::invalidate(const UpdateKey& key) {
@@ -180,6 +203,7 @@ std::uint64_t ReplicaStore::content_digest() const {
 }
 
 void ReplicaStore::recompute_meta() {
+  ++mutation_count_;
   double meta = 0.0;
   for (const auto& [key, u] : log_) {
     if (!u.invalidated) meta += u.meta_delta;

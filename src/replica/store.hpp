@@ -68,13 +68,24 @@ class ReplicaStore {
   /// invalidation flags, so the importer reproduces the meta value too.
   [[nodiscard]] std::vector<Update> export_log() const;
 
+  /// What one import_log() call did, per update in the batch.
+  struct ImportReport {
+    std::size_t applied = 0;     ///< Newly added to the log (including any
+                                 ///< parked successors the batch unblocked).
+    std::size_t duplicates = 0;  ///< Already held (or covered by counts).
+    /// Invalidation flags OR'd onto updates already held un-flagged: the
+    /// batch knew a resolution outcome this replica had missed.
+    std::size_t invalidation_merges = 0;
+  };
+
   /// Ingest a state batch (typically another replica's export_log()).
-  /// Every update goes through apply_remote, so the import is idempotent,
-  /// tolerates overlap with updates already held, and adjusts local_seq
-  /// when the batch contains this node's own writer history (a migrated
-  /// coordinator continues its predecessor's sequence).  Returns how many
-  /// updates were newly applied.
-  std::size_t import_log(const std::vector<Update>& updates);
+  /// Every new update goes through apply_remote, so the import is
+  /// idempotent, tolerates overlap with updates already held, and adjusts
+  /// local_seq when the batch contains this node's own writer history (a
+  /// migrated or restarted coordinator continues its predecessor's
+  /// sequence).  Updates already held contribute at most their
+  /// invalidation flag, which is OR'd in.
+  ImportReport import_log(const std::vector<Update>& updates);
 
   /// Mark an update invalidated (invalidate-both policy) and recompute the
   /// meta value.  Returns false if the update is unknown.
@@ -142,12 +153,21 @@ class ReplicaStore {
   [[nodiscard]] std::size_t update_count() const { return log_.size(); }
   [[nodiscard]] std::uint64_t local_seq() const { return local_seq_; }
 
+  /// Monotone count of content mutations (every apply/invalidate/rollback
+  /// that changed what a reader would see).  The incremental checkpoint
+  /// engine's dirty test: a replica whose mutation_count is unchanged
+  /// since the last checkpoint epoch has nothing new to persist.
+  [[nodiscard]] std::uint64_t mutation_count() const {
+    return mutation_count_;
+  }
+
  private:
   void recompute_meta();
 
   NodeId node_;
   FileId file_;
   std::uint64_t local_seq_ = 0;
+  std::uint64_t mutation_count_ = 0;
   std::map<UpdateKey, Update> log_;
   std::map<UpdateKey, Update> pending_;  ///< Reorder buffer.
   vv::ExtendedVersionVector evv_;

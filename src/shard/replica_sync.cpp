@@ -17,6 +17,8 @@ const net::MsgType ReplicaSyncAgent::kRepairType =
     net::MsgType::intern("shard.repair");
 const net::MsgType ReplicaSyncAgent::kMigrateType =
     net::MsgType::intern("shard.migrate");
+const net::MsgType ReplicaSyncAgent::kAckType =
+    net::MsgType::intern("shard.ack");
 
 namespace {
 
@@ -42,6 +44,10 @@ struct AgentMetrics {
   obs::MetricId ae_heal_rounds = obs::MetricId::intern("ae.heal_rounds");
   obs::MetricId migrate_updates_applied =
       obs::MetricId::intern("migrate.updates_applied");
+  obs::MetricId replicate_resends =
+      obs::MetricId::intern("replicate.resends");
+  obs::MetricId replicate_gaveups =
+      obs::MetricId::intern("replicate.resend_gaveups");
 };
 
 const AgentMetrics& agent_metrics() {
@@ -53,13 +59,20 @@ const AgentMetrics& agent_metrics() {
 
 ReplicaSyncAgent::ReplicaSyncAgent(core::IdeaNode& node,
                                    net::Transport& transport,
-                                   std::uint32_t group_size)
-    : node_(node), transport_(transport), group_size_(group_size) {
+                                   std::uint32_t group_size,
+                                   ReplicaSyncOptions options)
+    : node_(node),
+      transport_(transport),
+      group_size_(group_size),
+      options_(options) {
   node_.dispatcher().route("shard.", this);
 }
 
 ReplicaSyncAgent::~ReplicaSyncAgent() {
   stop_anti_entropy();
+  for (auto& [key, pending] : pending_acks_) {
+    transport_.cancel_call(pending.timer);
+  }
   node_.dispatcher().unroute("shard.");
 }
 
@@ -95,7 +108,59 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta,
     ++pushed;
   }
   if (pushed > 0) meter_.add(agent_metrics().replicate_pushed, pushed);
+  if (pushed > 0 && options_.resend_timeout > 0) track_pending(*u);
   return true;
+}
+
+void ReplicaSyncAgent::track_pending(const replica::Update& u) {
+  if (group_size_ > 64) return;  // unacked is a rank bitmask
+  PendingReplication pending;
+  pending.update = u;
+  for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
+    if (rank != node_.id()) pending.unacked |= 1ull << rank;
+  }
+  pending.resends_left = options_.max_resends;
+  auto [it, inserted] = pending_acks_.emplace(u.key, std::move(pending));
+  if (!inserted) return;  // defensive; keys are unique per put
+  it->second.timer = transport_.call_after(
+      options_.resend_timeout,
+      [this, key = u.key] { on_resend_timeout(key); });
+}
+
+void ReplicaSyncAgent::on_resend_timeout(replica::UpdateKey key) {
+  auto it = pending_acks_.find(key);
+  if (it == pending_acks_.end()) return;
+  PendingReplication& pending = it->second;
+  if (pending.resends_left == 0) {
+    // Budget exhausted: stop tracking.  If the peer is gone for good,
+    // recovery + anti-entropy own the rest; if it merely lost the acks,
+    // it already holds the update.
+    ++stats_.resend_gaveups;
+    meter_.add(agent_metrics().replicate_gaveups);
+    pending_acks_.erase(it);
+    return;
+  }
+  --pending.resends_left;
+  const net::Payload payload = std::vector<replica::Update>{pending.update};
+  const auto bytes =
+      static_cast<std::uint32_t>(16 + pending.update.wire_bytes());
+  std::uint64_t resent = 0;
+  for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
+    if ((pending.unacked & (1ull << rank)) == 0) continue;
+    net::Message msg;
+    msg.from = node_.id();
+    msg.to = rank;
+    msg.file = node_.file();
+    msg.type = kReplicateType;
+    msg.payload = payload;
+    msg.wire_bytes = bytes;
+    transport_.send(std::move(msg));
+    ++stats_.resends;
+    ++resent;
+  }
+  if (resent > 0) meter_.add(agent_metrics().replicate_resends, resent);
+  pending.timer = transport_.call_after(
+      options_.resend_timeout, [this, key] { on_resend_timeout(key); });
 }
 
 void ReplicaSyncAgent::start_anti_entropy(SimDuration period) {
@@ -234,12 +299,37 @@ void ReplicaSyncAgent::on_message(const net::Message& msg) {
   }
 
   if (msg.type == kReplicateType) {
-    const std::size_t applied = apply_batch(
-        msg.payload.as<std::vector<replica::Update>>(), stats_.applied);
+    const auto& batch = msg.payload.as<std::vector<replica::Update>>();
+    const std::size_t applied = apply_batch(batch, stats_.applied);
     if (applied > 0) meter_.add(agent_metrics().replicate_applied, applied);
     if (tr != nullptr && inbound.active() && applied > 0) {
       tr->instant(inbound, "replicate.apply", endpoint_, msg.file,
                   transport_.now());
+    }
+    // Ack every replicate (even redundant ones — the sender wants
+    // delivery confirmation, and re-sends of an update we already hold
+    // must still clear its pending slot over there).
+    if (options_.resend_timeout > 0 && !batch.empty()) {
+      net::Message ack;
+      ack.from = node_.id();
+      ack.to = msg.from;
+      ack.file = node_.file();
+      ack.type = kAckType;
+      ack.payload = batch.front().key;  // a push carries one update
+      ack.wire_bytes = 24;
+      transport_.send(std::move(ack));
+      ++stats_.acks_sent;
+    }
+    return;
+  }
+  if (msg.type == kAckType) {
+    ++stats_.acks_received;
+    auto it = pending_acks_.find(msg.payload.as<replica::UpdateKey>());
+    if (it == pending_acks_.end()) return;  // already resolved/abandoned
+    it->second.unacked &= ~(1ull << msg.from);
+    if (it->second.unacked == 0) {
+      transport_.cancel_call(it->second.timer);
+      pending_acks_.erase(it);
     }
     return;
   }

@@ -28,8 +28,17 @@
 ///  * State streaming ("shard.migrate"): when membership changes move a
 ///    file to a new replica group, the new coordinator adopts the merged
 ///    log and streams it to the other ranks as one batch message each.
+///
+///  * Acked replication ("shard.ack", opt-in): with a resend timeout
+///    configured, every replicate push is tracked until each peer acks
+///    it; unacked peers get a bounded number of re-sends.  This is the
+///    crash-model plumbing — a coordinator whose replica died mid-
+///    replication retries for a while and then gives up cleanly instead
+///    of wedging, and a briefly-unreachable replica still converges
+///    without waiting for anti-entropy.
 
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,6 +65,24 @@ struct ReplicaSyncStats {
   std::uint64_t invalidations_healed = 0;  ///< Flags OR'd in via repair.
   // Migration streaming.
   std::uint64_t migrate_updates_applied = 0;
+  // Acked replication (all zero while the feature is off).
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t resends = 0;          ///< Re-sent replicate messages.
+  std::uint64_t resend_gaveups = 0;   ///< Updates abandoned after budget.
+};
+
+/// Opt-in replication ack/re-send behavior.  The zero default keeps every
+/// pre-existing fixed-seed replay byte-identical: no acks are sent, no
+/// timers armed.
+struct ReplicaSyncOptions {
+  /// Per-push ack timeout; a push unacked after this long is re-sent to
+  /// the silent ranks.  0 disables acks and re-sends entirely.
+  SimDuration resend_timeout = 0;
+  /// Re-send budget per update; exhausted pushes are abandoned (bounded —
+  /// anti-entropy owns healing a peer that stays dark, and a peer that
+  /// crashed for good must not pin sender state forever).
+  std::uint32_t max_resends = 2;
 };
 
 /// Body of a "shard.repair" message: the updates the digest sender was
@@ -80,9 +107,11 @@ class ReplicaSyncAgent final : public net::MessageHandler {
  public:
   /// `node` and `transport` are borrowed; `transport` is the file's
   /// rank-space group transport and `group_size` its member count.
-  /// Registers itself on the node's dispatcher under "shard.".
+  /// Registers itself on the node's dispatcher under "shard.".  All
+  /// members of one group must share `options` (receivers only ack when
+  /// the feature is on).
   ReplicaSyncAgent(core::IdeaNode& node, net::Transport& transport,
-                   std::uint32_t group_size);
+                   std::uint32_t group_size, ReplicaSyncOptions options = {});
   ~ReplicaSyncAgent() override;
 
   ReplicaSyncAgent(const ReplicaSyncAgent&) = delete;
@@ -139,10 +168,17 @@ class ReplicaSyncAgent final : public net::MessageHandler {
     return anti_entropy_timer_ != 0;
   }
 
+  /// Replicate pushes currently awaiting acks (0 when the feature is off
+  /// or everything acked — a crashed peer cannot pin this forever).
+  [[nodiscard]] std::size_t pending_acks() const {
+    return pending_acks_.size();
+  }
+
   static const net::MsgType kReplicateType;  ///< Interned "shard.replicate".
   static const net::MsgType kDigestType;     ///< Interned "shard.digest".
   static const net::MsgType kRepairType;     ///< Interned "shard.repair".
   static const net::MsgType kMigrateType;    ///< Interned "shard.migrate".
+  static const net::MsgType kAckType;        ///< Interned "shard.ack".
 
  private:
   /// Apply a batch of updates (repair or migration), bumping `applied_stat`
@@ -161,10 +197,24 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   void stamp_wire_span(net::Message& msg, const obs::TraceContext& tc,
                        std::string_view span_name);
 
+  /// One tracked replicate push awaiting acks.
+  struct PendingReplication {
+    replica::Update update;       ///< Kept for re-sends.
+    std::uint64_t unacked = 0;    ///< Bitmask of silent ranks.
+    std::uint32_t resends_left = 0;
+    std::uint64_t timer = 0;
+  };
+
+  /// Start tracking a just-pushed update (resend_timeout > 0 only).
+  void track_pending(const replica::Update& u);
+  void on_resend_timeout(replica::UpdateKey key);
+
   core::IdeaNode& node_;
   net::Transport& transport_;
   std::uint32_t group_size_;
+  ReplicaSyncOptions options_;
   ReplicaSyncStats stats_;
+  std::map<replica::UpdateKey, PendingReplication> pending_acks_;
   std::uint64_t anti_entropy_timer_ = 0;
   std::uint32_t ae_rotation_ = 0;  ///< Round-robin peer cursor.
   FreshnessListener on_freshness_;

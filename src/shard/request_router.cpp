@@ -22,6 +22,8 @@ struct RouterMetrics {
   obs::MetricId migration_pinned =
       obs::MetricId::intern("router.read.migration_pinned");
   obs::MetricId read_served = obs::MetricId::intern("read.served");
+  obs::MetricId write_failover =
+      obs::MetricId::intern("router.write.failover");
 };
 
 const RouterMetrics& router_metrics() {
@@ -54,6 +56,8 @@ bool RequestRouter::write(FileId file, std::string content,
   const auto [agent, endpoint] = cluster_.coordinator(file);
   if (agent == nullptr) return false;
   ++stats_.coordinator_ops[endpoint];
+  const bool failover = endpoint != cluster_.coordinator_endpoint(file);
+  if (failover) ++stats_.failover_writes;
   if (!agent->put(std::move(content), meta_delta, tc)) {
     ++stats_.blocked_writes;
     return false;
@@ -61,6 +65,7 @@ bool RequestRouter::write(FileId file, std::string content,
   ++stats_.writes;
   if (obs::Observability* o = observability()) {
     o->cluster_meter().add(router_metrics().writes);
+    if (failover) o->cluster_meter().add(router_metrics().write_failover);
   }
   return true;
 }
@@ -141,11 +146,12 @@ NodeId RequestRouter::pick_replica(FileId file,
       coordinator_total = coordinator->store().evv().counts().total();
     }
   }
-  NodeId best = members.front();
+  NodeId best = kNoNode;
   std::tuple<std::uint64_t, SimDuration, std::uint32_t> best_key{
       UINT64_MAX, 0, 0};
   for (std::uint32_t rank = 0; rank < members.size(); ++rank) {
     const NodeId endpoint = members[rank];
+    if (!cluster_.has_endpoint(endpoint)) continue;  // crashed: route around
     std::uint64_t lag = 0;
     if (use_hints && rank != 0) {
       // A replica nobody has hinted about yet stays at lag 0 (optimistic
@@ -163,7 +169,7 @@ NodeId RequestRouter::pick_replica(FileId file,
       best = endpoint;
     }
   }
-  return best;
+  return best == kNoNode ? members.front() : best;
 }
 
 void RequestRouter::measure_staleness(core::IdeaNode& coordinator,
@@ -210,8 +216,16 @@ client::ReadResult RequestRouter::serve_quorum(
   // Fan out to the coordinator plus the r-1 nearest other replicas: the
   // write path acks at the coordinator (W = 1), so including it keeps
   // R ∩ W nonempty and the merged view can never miss an acked write.
-  std::vector<NodeId> targets{members.front()};
-  std::vector<NodeId> others(members.begin() + 1, members.end());
+  // Crashed members cannot be contacted — the quorum forms over the
+  // living, with the acting coordinator (lowest alive rank) first.
+  std::vector<NodeId> alive;
+  alive.reserve(members.size());
+  for (NodeId e : members) {
+    if (cluster_.has_endpoint(e)) alive.push_back(e);
+  }
+  if (alive.empty()) return {};
+  std::vector<NodeId> targets{alive.front()};
+  std::vector<NodeId> others(alive.begin() + 1, alive.end());
   std::stable_sort(others.begin(), others.end(),
                    [&](NodeId a, NodeId b) {
                      return rtt(origin, a) < rtt(origin, b);
@@ -320,7 +334,15 @@ client::ReadResult RequestRouter::read(FileId file,
   if (coordinator == nullptr) return {};
   const std::vector<NodeId>* members = cluster_.members_of(file);
   if (members == nullptr || members->empty()) return {};
-  const NodeId coord_ep = members->front();
+  // Acting coordinator: the lowest alive rank — rank 0 unless it crashed,
+  // in which case reads (like writes) fail over down the rank order.
+  NodeId coord_ep = members->front();
+  for (NodeId member : *members) {
+    if (cluster_.has_endpoint(member)) {
+      coord_ep = member;
+      break;
+    }
+  }
   ++stats_.reads;
 
   obs::Observability* o = observability();

@@ -56,6 +56,9 @@ struct RouterStats {
   std::uint64_t opens = 0;  ///< Placements created on demand.
   std::uint64_t writes = 0;
   std::uint64_t blocked_writes = 0;  ///< Writes refused mid-resolution.
+  /// Writes coordinated by a lower-ranked member because rank 0 was
+  /// crashed (rank space is multi-writer, so failover is safe).
+  std::uint64_t failover_writes = 0;
   std::uint64_t reads = 0;
   std::uint64_t closes = 0;
   // Per-policy read counts.

@@ -7,7 +7,10 @@
 namespace idea::shard {
 
 ShardedCluster::ShardedCluster(ShardedClusterConfig config)
-    : config_(std::move(config)), ring_(config_.ring) {
+    : config_(std::move(config)),
+      ring_(config_.ring),
+      storage_(config_.checkpoint.retain),
+      engine_(replica::make_checkpoint_engine(config_.checkpoint.engine)) {
   // Re-sync unconditionally: a caller that set `endpoints` but forgot
   // sync_sizes() would otherwise hand the latency model a smaller node
   // count and read out of bounds on the first cross-endpoint message.
@@ -29,10 +32,12 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
   }
   services_.reserve(config_.endpoints);
   incarnations_.assign(config_.endpoints, 0);
+  checkpoint_timers_.assign(config_.endpoints, 0);
   for (NodeId n = 0; n < config_.endpoints; ++n) {
     ring_.add_node(n);
     services_.push_back(std::make_unique<core::IdeaService>(
         n, edge(), mix64(config_.seed ^ (0x5E4D1CEULL + n))));
+    arm_checkpoint_timer(n);
   }
   router_ = std::make_unique<RequestRouter>(*this);
 }
@@ -76,13 +81,23 @@ ShardedCluster::FileGroup& ShardedCluster::open_group(
   group.transports.reserve(k);
   group.sync.reserve(k);
   for (std::uint32_t rank = 0; rank < k; ++rank) {
+    if (services_[group.members[rank]] == nullptr) {
+      // Crashed member: its rank stays dark until restart rebuilds the
+      // group.  Sends addressed to it drop at the transport's crash
+      // window, exactly like a live-but-dead endpoint would behave.
+      group.transports.push_back(nullptr);
+      group.sync.push_back(nullptr);
+      continue;
+    }
     auto transport = std::make_unique<GroupTransport>(
         edge(), group.members, rank, epoch);
     core::IdeaNode& node = services_[group.members[rank]]->open_via(
         file, idea, *transport, rank, transport.get());
     transport->set_sink(&node.dispatcher());
-    group.sync.push_back(
-        std::make_unique<ReplicaSyncAgent>(node, *transport, k));
+    group.sync.push_back(std::make_unique<ReplicaSyncAgent>(
+        node, *transport, k,
+        ReplicaSyncOptions{config_.replication_resend_timeout,
+                           config_.replication_max_resends}));
     if (obs_ != nullptr) {
       group.sync.back()->set_observability(obs_.get(), group.members[rank]);
     }
@@ -110,7 +125,13 @@ ShardedCluster::FileGroup& ShardedCluster::open_group(
 core::IdeaNode* ShardedCluster::ensure_open(FileId file) {
   auto it = files_.find(file);
   if (it != files_.end()) {
-    return services_[it->second.members.front()]->find(file);
+    // Acting coordinator: the lowest alive rank (rank 0 unless crashed).
+    for (NodeId member : it->second.members) {
+      if (services_[member] != nullptr) {
+        return services_[member]->find(file);
+      }
+    }
+    return nullptr;  // every member is down
   }
   const std::vector<NodeId> members = group_of(file);
   if (members.empty()) return nullptr;
@@ -119,10 +140,16 @@ core::IdeaNode* ShardedCluster::ensure_open(FileId file) {
   // a rank-space replication group around it would misroute every push
   // (open_via's keep-first would hand us that node unchanged).
   for (NodeId member : members) {
-    if (services_[member]->find(file) != nullptr) return nullptr;
+    if (services_[member] != nullptr &&
+        services_[member]->find(file) != nullptr) {
+      return nullptr;
+    }
   }
   FileGroup& group = open_group(file, members);
-  return services_[group.members.front()]->find(file);
+  for (NodeId member : group.members) {
+    if (services_[member] != nullptr) return services_[member]->find(file);
+  }
+  return nullptr;
 }
 
 MembershipChange ShardedCluster::add_endpoint() {
@@ -141,6 +168,7 @@ MembershipChange ShardedCluster::add_endpoint() {
     id = static_cast<NodeId>(services_.size());
     services_.push_back(nullptr);
     incarnations_.push_back(0);
+    checkpoint_timers_.push_back(0);
   }
   // Grow the latency topology and the transport's per-node state first:
   // the new endpoint's IdeaService attaches to the transport immediately.
@@ -155,6 +183,7 @@ MembershipChange ShardedCluster::add_endpoint() {
   if (obs_ != nullptr) {
     obs_->ensure_endpoints(static_cast<std::uint32_t>(services_.size()));
   }
+  arm_checkpoint_timer(id);
 
   MembershipChange change;
   change.endpoint = id;
@@ -174,6 +203,7 @@ MembershipChange ShardedCluster::remove_endpoint(NodeId endpoint) {
   // part of the state hand-off union (it may hold updates nobody else
   // received yet).
   migrate_changed_groups(before, change);
+  cancel_checkpoint_timer(endpoint);
   services_[endpoint].reset();  // detaches its transport slot
   free_ids_.insert(endpoint);
   return change;
@@ -203,6 +233,7 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     //    only part of the old group when the membership change hit).
     std::map<replica::UpdateKey, replica::Update> merged;
     for (NodeId member : it->second.members) {
+      if (services_[member] == nullptr) continue;  // crashed: state is gone
       core::IdeaNode* node = services_[member]->find(file);
       if (node == nullptr) continue;
       for (replica::Update& u : node->store().export_log()) {
@@ -218,7 +249,9 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     // 2. Tear down the old group epoch (agents first: they unroute from
     //    the dispatchers the node teardown destroys).
     it->second.sync.clear();
-    for (NodeId member : it->second.members) services_[member]->close(file);
+    for (NodeId member : it->second.members) {
+      if (services_[member] != nullptr) services_[member]->close(file);
+    }
     files_.erase(it);
 
     if (members.empty()) continue;  // last endpoint left; file unplaced
@@ -229,12 +262,20 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     //    then streams it to the other ranks over the wire.
     FileGroup& group = open_group(file, std::move(members));
     if (router_ != nullptr) router_->forget_file(file);
-    if (!snapshot.empty()) {  // cold files have nothing to hand over
+    // The adopting rank is the lowest alive one: rank 0 unless that
+    // member is crashed, in which case the next alive rank takes the
+    // snapshot (rank space is multi-writer, so this is safe).
+    std::size_t adopter = 0;
+    while (adopter < group.sync.size() && group.sync[adopter] == nullptr) {
+      ++adopter;
+    }
+    if (!snapshot.empty() && adopter < group.sync.size()) {
       core::IdeaNode* coordinator =
-          services_[group.members.front()]->find(file);
+          services_[group.members[adopter]]->find(file);
       coordinator->store().import_log(snapshot);
       change.state_updates += snapshot.size();
-      const std::size_t streamed = group.sync.front()->stream_state(snapshot);
+      const std::size_t streamed =
+          group.sync[adopter]->stream_state(snapshot);
       change.stream_messages += streamed;
       if (obs_ != nullptr) {
         obs::Meter meter = obs_->cluster_meter();
@@ -275,7 +316,9 @@ bool ShardedCluster::close_file(FileId file) {
   // Sync agents and nodes unhook from each other's dispatcher; drop the
   // agents first, then the stacks, then the group transports they used.
   it->second.sync.clear();
-  for (NodeId member : it->second.members) services_[member]->close(file);
+  for (NodeId member : it->second.members) {
+    if (services_[member] != nullptr) services_[member]->close(file);
+  }
   files_.erase(it);
   if (router_ != nullptr) router_->forget_file(file);
   return true;
@@ -288,6 +331,7 @@ core::IdeaNode* ShardedCluster::replica(FileId file, NodeId endpoint) {
   if (std::find(members.begin(), members.end(), endpoint) == members.end()) {
     return nullptr;
   }
+  if (services_[endpoint] == nullptr) return nullptr;  // crashed member
   return services_[endpoint]->find(file);
 }
 
@@ -297,7 +341,9 @@ core::IdeaNode* ShardedCluster::replica_at_rank(FileId file,
   if (it == files_.end() || rank >= it->second.members.size()) {
     return nullptr;
   }
-  return services_[it->second.members[rank]]->find(file);
+  const NodeId endpoint = it->second.members[rank];
+  if (services_[endpoint] == nullptr) return nullptr;  // crashed member
+  return services_[endpoint]->find(file);
 }
 
 ReplicaSyncAgent* ShardedCluster::sync_agent(FileId file,
@@ -313,6 +359,7 @@ bool ShardedCluster::converged(FileId file) {
   std::uint64_t digest = 0;
   bool first = true;
   for (NodeId member : it->second.members) {
+    if (services_[member] == nullptr) continue;  // crashed: judge the living
     core::IdeaNode* node = services_[member]->find(file);
     if (node == nullptr) return false;
     const std::uint64_t d = node->store().content_digest();
@@ -324,6 +371,243 @@ bool ShardedCluster::converged(FileId file) {
     }
   }
   return true;
+}
+
+void ShardedCluster::arm_checkpoint_timer(NodeId endpoint) {
+  if (!config_.checkpoint.enabled()) return;
+  if (endpoint >= checkpoint_timers_.size()) {
+    checkpoint_timers_.resize(endpoint + 1, 0);
+  }
+  if (checkpoint_timers_[endpoint] != 0) return;
+  checkpoint_timers_[endpoint] = sim_.schedule_periodic(
+      config_.checkpoint.period,
+      [this, endpoint] { checkpoint_endpoint(endpoint); });
+}
+
+void ShardedCluster::cancel_checkpoint_timer(NodeId endpoint) {
+  if (endpoint < checkpoint_timers_.size() &&
+      checkpoint_timers_[endpoint] != 0) {
+    sim_.cancel(checkpoint_timers_[endpoint]);
+    checkpoint_timers_[endpoint] = 0;
+  }
+}
+
+void ShardedCluster::checkpoint_endpoint(NodeId endpoint) {
+  if (engine_ == nullptr || !has_endpoint(endpoint)) return;
+  // Sorted file walk so the durable record/epoch stream replays
+  // identically under a fixed seed (files_ is hash-ordered).
+  std::vector<FileId> placed;
+  placed.reserve(files_.size());
+  for (const auto& [file, group] : files_) {
+    if (std::find(group.members.begin(), group.members.end(), endpoint) !=
+        group.members.end()) {
+      placed.push_back(file);
+    }
+  }
+  std::sort(placed.begin(), placed.end());
+
+  std::vector<replica::ReplicaRef> refs;
+  refs.reserve(placed.size());
+  for (FileId file : placed) {
+    const FileGroup& group = files_.find(file)->second;
+    core::IdeaNode* node = services_[endpoint]->find(file);
+    if (node == nullptr) continue;
+    refs.push_back({file, &node->store(), &group.members});
+  }
+  const replica::CheckpointRunStats run = engine_->checkpoint(
+      endpoint, incarnations_[endpoint], refs, sim_.now(), storage_);
+
+  if (obs_ != nullptr) {
+    obs::Meter meter = obs_->endpoint_meter(endpoint);
+    meter.add(obs::MetricId::intern("ckpt.runs"));
+    meter.add(obs::MetricId::intern("ckpt.files_written"),
+              run.files_written);
+    meter.add(obs::MetricId::intern("ckpt.files_clean"), run.files_clean);
+    meter.add(obs::MetricId::intern("ckpt.updates_written"),
+              run.updates_written);
+    meter.add(obs::MetricId::intern("ckpt.bytes_written"),
+              run.bytes_written);
+    const std::uint64_t offered = run.files_written + run.files_clean;
+    if (offered > 0) {
+      meter.observe(obs::MetricId::intern("ckpt.dirty_ratio_pct"),
+                    100 * run.files_written / offered);
+    }
+  }
+}
+
+CrashReport ShardedCluster::crash_endpoint(NodeId endpoint) {
+  CrashReport report;
+  if (!has_endpoint(endpoint) || is_crashed(endpoint)) return report;
+  report.endpoint = endpoint;
+  report.incarnation = incarnations_[endpoint];
+  report.at = sim_.now();
+  // Sever the wire first: from this instant nothing reaches or leaves the
+  // endpoint, and every message already in flight dies with its
+  // connection (crash windows act on the whole flight, not the send).
+  sim_transport_->crash_node(endpoint, sim_.now());
+  cancel_checkpoint_timer(endpoint);
+  // Darken the endpoint's rank in every placed group.  Agents go first
+  // (they unroute from the dispatchers the service teardown destroys);
+  // the GroupTransports stay alive with a null sink because the node
+  // destructors cancel their timers through them.  Sorted walk for a
+  // reproducible report.
+  std::vector<FileId> placed;
+  placed.reserve(files_.size());
+  for (const auto& [file, group] : files_) placed.push_back(file);
+  std::sort(placed.begin(), placed.end());
+  for (FileId file : placed) {
+    FileGroup& group = files_.find(file)->second;
+    for (std::size_t rank = 0; rank < group.members.size(); ++rank) {
+      if (group.members[rank] != endpoint || group.sync[rank] == nullptr) {
+        continue;
+      }
+      ++report.groups_affected;
+      core::IdeaNode* node = services_[endpoint]->find(file);
+      if (node != nullptr) {
+        report.volatile_updates_lost += node->store().update_count();
+      }
+      group.sync[rank].reset();
+      group.transports[rank]->set_sink(nullptr);
+    }
+  }
+  services_[endpoint].reset();
+  crashed_.insert(endpoint);
+  crashed_at_[endpoint] = sim_.now();
+  if (obs_ != nullptr) {
+    obs_->cluster_meter().add(obs::MetricId::intern("crash.crashes"));
+  }
+  return report;
+}
+
+RecoveryReport ShardedCluster::restart_endpoint(NodeId endpoint) {
+  RecoveryReport report;
+  if (!is_crashed(endpoint)) return report;
+  report.endpoint = endpoint;
+  report.downtime = sim_.now() - crashed_at_[endpoint];
+  crashed_.erase(endpoint);
+  crashed_at_.erase(endpoint);
+  sim_transport_->revive_node(endpoint, sim_.now());
+  const std::uint32_t incarnation = ++incarnations_[endpoint];
+  report.incarnation = incarnation;
+  services_[endpoint] = std::make_unique<core::IdeaService>(
+      endpoint, edge(),
+      mix64(config_.seed ^ (0x5E4D1CEULL + endpoint) ^
+            (static_cast<std::uint64_t>(incarnation) << 40)));
+  arm_checkpoint_timer(endpoint);
+
+  // Rebuild every group the endpoint belongs to under a fresh epoch, in
+  // sorted file order so the rebuild's sends replay deterministically.
+  std::vector<FileId> placed;
+  placed.reserve(files_.size());
+  for (const auto& [file, group] : files_) {
+    if (std::find(group.members.begin(), group.members.end(), endpoint) !=
+        group.members.end()) {
+      placed.push_back(file);
+    }
+  }
+  std::sort(placed.begin(), placed.end());
+
+  for (FileId file : placed) {
+    auto it = files_.find(file);
+    const std::vector<NodeId> members = it->second.members;
+    const auto self_rank = static_cast<NodeId>(
+        std::find(members.begin(), members.end(), endpoint) -
+        members.begin());
+
+    // 1. Capture each survivor's own log.  Survivors re-import exactly
+    //    what they held (NOT the union): the restarted member's
+    //    checkpoint→crash gap must stay a gap so the ordinary
+    //    anti-entropy exchange — not a migration stream — heals it.
+    std::map<NodeId, std::vector<replica::Update>> survivor_logs;
+    std::size_t survivor_max_updates = 0;
+    for (NodeId member : members) {
+      if (member == endpoint || services_[member] == nullptr) continue;
+      core::IdeaNode* node = services_[member]->find(file);
+      if (node == nullptr) continue;
+      auto log = node->store().export_log();
+      survivor_max_updates = std::max(survivor_max_updates, log.size());
+      survivor_logs.emplace(member, std::move(log));
+    }
+
+    // 2. Latest durable checkpoint.  Updates are keyed by rank-space
+    //    writer ids, so a record from a different membership (rank
+    //    mapping) is unusable — discard it and recover from zero + AE.
+    const replica::CheckpointRecord* ckpt = storage_.latest(endpoint, file);
+    if (ckpt != nullptr && ckpt->members != members) ckpt = nullptr;
+    std::uint64_t ckpt_own_max = 0;
+    if (ckpt != nullptr) {
+      for (const replica::Update& u : ckpt->updates) {
+        if (u.key.writer == self_rank) {
+          ckpt_own_max = std::max(ckpt_own_max, u.key.seq);
+        }
+      }
+    }
+
+    // 3. Own-writer continuation: writes this endpoint coordinated after
+    //    its last checkpoint live on in the survivors; re-adopting them
+    //    before traffic resumes keeps its writer sequence from reusing
+    //    numbers the group already saw.
+    std::map<replica::UpdateKey, replica::Update> reconcile;
+    for (const auto& [member, log] : survivor_logs) {
+      for (const replica::Update& u : log) {
+        if (u.key.writer == self_rank && u.key.seq > ckpt_own_max) {
+          reconcile.emplace(u.key, u);
+        }
+      }
+    }
+
+    // 4. Rebuild under a new group epoch: stale pre-crash traffic fences
+    //    at the GroupTransports.
+    it->second.sync.clear();
+    for (NodeId member : members) {
+      if (services_[member] != nullptr) services_[member]->close(file);
+    }
+    files_.erase(it);
+    open_group(file, members);
+    if (router_ != nullptr) router_->forget_file(file);
+
+    // 5. Survivors resume exactly where they were.
+    for (const auto& [member, log] : survivor_logs) {
+      core::IdeaNode* node = services_[member]->find(file);
+      if (node != nullptr) node->store().import_log(log);
+    }
+
+    // 6. The restarted member = durable checkpoint + own-writer
+    //    continuation; whatever is still missing is the O(delta) gap
+    //    anti-entropy streams.
+    core::IdeaNode* self = services_[endpoint]->find(file);
+    std::size_t restored = 0;
+    if (ckpt != nullptr && self != nullptr) {
+      const replica::ReplicaStore::ImportReport r = self->store().import_log(ckpt->updates);
+      restored += r.applied;
+      ++report.checkpoint_files;
+      report.checkpoint_updates += r.applied;
+    }
+    if (!reconcile.empty() && self != nullptr) {
+      std::vector<replica::Update> batch;
+      batch.reserve(reconcile.size());
+      for (const auto& [key, u] : reconcile) batch.push_back(u);
+      const replica::ReplicaStore::ImportReport r = self->store().import_log(batch);
+      report.reconciled_updates += r.applied;
+      restored += r.applied;
+    }
+    if (survivor_max_updates > restored) {
+      report.gap_updates += survivor_max_updates - restored;
+    }
+    ++report.files_recovered;
+  }
+
+  if (obs_ != nullptr) {
+    obs::Meter meter = obs_->cluster_meter();
+    meter.add(obs::MetricId::intern("crash.restarts"));
+    meter.observe(obs::MetricId::intern("recovery.downtime_us"),
+                  static_cast<std::uint64_t>(report.downtime));
+    meter.observe(obs::MetricId::intern("recovery.checkpoint_updates"),
+                  report.checkpoint_updates);
+    meter.observe(obs::MetricId::intern("recovery.gap_updates"),
+                  report.gap_updates);
+  }
+  return report;
 }
 
 }  // namespace idea::shard

@@ -25,6 +25,7 @@
 /// entropy (config.anti_entropy_period) heals whatever the stream or the
 /// regular replication pushes lose.
 
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 #include "net/batching_transport.hpp"
 #include "net/sim_transport.hpp"
 #include "obs/observability.hpp"
+#include "replica/checkpoint.hpp"
 #include "shard/group_transport.hpp"
 #include "shard/hash_ring.hpp"
 #include "shard/replica_sync.hpp"
@@ -62,6 +64,14 @@ struct ShardedClusterConfig {
   /// RNG and sends no messages, so fixed-seed replays stay byte-identical
   /// (the determinism goldens run with it on).
   obs::ObservabilityConfig observability;
+  /// Durable checkpointing for crash recovery (engine + period + retain).
+  /// Off by default; enabling it is behavior-neutral too — checkpoint
+  /// passes draw no RNG and send no messages, so existing goldens hold.
+  replica::CheckpointConfig checkpoint;
+  /// Per-group replication ack/re-send (see ReplicaSyncOptions).  0 keeps
+  /// the ack machinery off and pre-existing replays byte-identical.
+  SimDuration replication_resend_timeout = 0;
+  std::uint32_t replication_max_resends = 2;
 
   ShardedClusterConfig() { sync_sizes(); }
 
@@ -85,6 +95,36 @@ struct MembershipChange {
   std::size_t files_migrated = 0;   ///< Groups torn down and rebuilt.
   std::size_t state_updates = 0;    ///< Snapshot updates handed over.
   std::size_t stream_messages = 0;  ///< "shard.migrate" messages sent.
+};
+
+/// What one crash_endpoint() call destroyed.
+struct CrashReport {
+  NodeId endpoint = kNoNode;  ///< kNoNode if the call was a no-op.
+  std::uint32_t incarnation = 0;  ///< The life that just died.
+  SimTime at = 0;
+  std::size_t groups_affected = 0;  ///< Placed groups that lost a member.
+  /// Applied updates the endpoint held in RAM at the crash (what durable
+  /// checkpoints minus the gap get back).
+  std::size_t volatile_updates_lost = 0;
+};
+
+/// What one restart_endpoint() call recovered.
+struct RecoveryReport {
+  NodeId endpoint = kNoNode;  ///< kNoNode if the call was a no-op.
+  std::uint32_t incarnation = 0;  ///< The new life.
+  SimTime downtime = 0;
+  std::size_t files_recovered = 0;     ///< Groups rejoined.
+  std::size_t checkpoint_files = 0;    ///< Files restored from a checkpoint.
+  std::size_t checkpoint_updates = 0;  ///< Updates reloaded from durable
+                                       ///< storage (no wire traffic).
+  /// Own-writer continuation updates reloaded from survivors: writes this
+  /// endpoint coordinated after its last checkpoint but before the crash
+  /// live on in the group, and the restarted replica must re-adopt them
+  /// before accepting new writes or it would reuse sequence numbers.
+  std::size_t reconciled_updates = 0;
+  /// Checkpoint→crash delta left for anti-entropy to stream — the O(delta)
+  /// recovery traffic (vs O(log) when no checkpoint exists).
+  std::size_t gap_updates = 0;
 };
 
 class ShardedCluster {
@@ -115,10 +155,51 @@ class ShardedCluster {
   MembershipChange remove_endpoint(NodeId endpoint);
 
   /// Whether `endpoint` is currently alive (constructed or added, and not
-  /// removed).
+  /// removed or crashed).
   [[nodiscard]] bool has_endpoint(NodeId endpoint) const {
     return endpoint < services_.size() && services_[endpoint] != nullptr;
   }
+
+  // ------------------------------------------------------------------
+  // Crash / restart (the fault model; see replica/checkpoint.hpp)
+  // ------------------------------------------------------------------
+
+  /// Crash-stop `endpoint` right now: its volatile state (every hosted
+  /// replica stack) is dropped, no goodbye messages are sent, and the
+  /// transport loses all in-flight traffic to or from it.  The endpoint
+  /// keeps its ring points and group memberships — its ranks simply go
+  /// dark (pushes to them drop; reads and writes route around them via
+  /// the acting coordinator) until restart_endpoint().  Durable
+  /// checkpoints survive.  No-op on an unknown/removed/crashed endpoint.
+  CrashReport crash_endpoint(NodeId endpoint);
+
+  /// Restart a crashed endpoint as a new incarnation on the same ring
+  /// points.  Every group it belongs to is rebuilt under a new group
+  /// epoch (fencing pre-crash traffic); survivors re-adopt exactly their
+  /// own pre-rebuild state, and the restarted member reloads each shard
+  /// from its latest durable checkpoint plus the own-writer continuation
+  /// held by survivors.  The checkpoint→crash gap is NOT streamed — the
+  /// ordinary shard.digest/repair anti-entropy heals it, O(delta).
+  /// No-op unless the endpoint is currently crashed.
+  RecoveryReport restart_endpoint(NodeId endpoint);
+
+  /// Whether `endpoint` is crashed (down, awaiting restart_endpoint()).
+  [[nodiscard]] bool is_crashed(NodeId endpoint) const {
+    return crashed_.count(endpoint) > 0;
+  }
+
+  /// The durable checkpoint store (inspectable in tests/benches).
+  [[nodiscard]] replica::DurableStorage& durable_storage() {
+    return storage_;
+  }
+  /// The configured engine; nullptr when checkpointing is off.
+  [[nodiscard]] replica::CheckpointEngine* checkpoint_engine() {
+    return engine_.get();
+  }
+
+  /// Run one checkpoint pass for `endpoint` right now (what the periodic
+  /// timer fires; exposed so tests and benches control epochs exactly).
+  void checkpoint_endpoint(NodeId endpoint);
 
   /// Ids of the live endpoints, ascending.
   [[nodiscard]] std::vector<NodeId> endpoints() const;
@@ -192,14 +273,22 @@ class ShardedCluster {
   [[nodiscard]] ReplicaSyncAgent* sync_agent(FileId file,
                                              std::uint32_t rank);
 
-  /// The coordinator's sync agent and endpoint id in one placement
-  /// lookup (the router's per-op fast path); {nullptr, kNoNode} when the
-  /// file is not placed.
+  /// The acting coordinator's sync agent and endpoint id in one placement
+  /// lookup (the router's per-op fast path): the lowest alive rank — rank
+  /// 0 unless it crashed, in which case writes fail over down the rank
+  /// order (rank space is multi-writer, so this is safe).  {nullptr,
+  /// kNoNode} when the file is not placed or every member is down.
   [[nodiscard]] std::pair<ReplicaSyncAgent*, NodeId> coordinator(
       FileId file) {
     auto it = files_.find(file);
     if (it == files_.end()) return {nullptr, kNoNode};
-    return {it->second.sync.front().get(), it->second.members.front()};
+    const FileGroup& group = it->second;
+    for (std::size_t rank = 0; rank < group.sync.size(); ++rank) {
+      if (group.sync[rank] != nullptr) {
+        return {group.sync[rank].get(), group.members[rank]};
+      }
+    }
+    return {nullptr, kNoNode};
   }
 
   /// True iff every group replica holds byte-identical canonical contents.
@@ -259,8 +348,16 @@ class ShardedCluster {
   };
 
   /// Build the file's protocol stacks + sync agents on `members` (rank
-  /// order as given).  The file must not currently be placed.
+  /// order as given).  The file must not currently be placed.  Members
+  /// whose service is down (crashed) get null transport/sync slots at
+  /// their rank: the group keeps its shape, protocol traffic to the dark
+  /// ranks drops at the transport, and restart_endpoint() fills the
+  /// slots by rebuilding the group.
   FileGroup& open_group(FileId file, std::vector<NodeId> members);
+
+  /// Arm/cancel the per-endpoint periodic checkpoint timer.
+  void arm_checkpoint_timer(NodeId endpoint);
+  void cancel_checkpoint_timer(NodeId endpoint);
 
   /// Tear down and rebuild every placed file whose replica group differs
   /// between `before` and the current ring, streaming state to the new
@@ -290,6 +387,14 @@ class ShardedCluster {
   std::vector<std::uint32_t> incarnations_;
   /// Ids of removed endpoints awaiting reuse, smallest first.
   std::set<NodeId> free_ids_;
+  // Crash/recovery state.  Crashed ids stay out of free_ids_ (their ring
+  // points and group memberships persist until restart).
+  std::set<NodeId> crashed_;
+  std::map<NodeId, SimTime> crashed_at_;
+  replica::DurableStorage storage_;
+  std::unique_ptr<replica::CheckpointEngine> engine_;
+  /// Periodic checkpoint timer per endpoint id (0 = none armed).
+  std::vector<std::uint64_t> checkpoint_timers_;
   std::unique_ptr<RequestRouter> router_;
 };
 

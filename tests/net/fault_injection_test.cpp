@@ -1,6 +1,6 @@
 /// \file fault_injection_test.cpp
-/// \brief SimTransport's scripted fault hooks: drop windows and pairwise
-///        partitions.
+/// \brief SimTransport's scripted fault hooks: drop windows, pairwise
+///        partitions, and crash-stop windows.
 ///
 /// These are the levers the membership/anti-entropy tests pull to force
 /// the exact divergence anti-entropy must heal, so their semantics are
@@ -148,6 +148,128 @@ TEST_F(FaultInjectionTest, ScriptedFaultsDoNotPerturbTheLossStream) {
   std::vector<SimTime> expected;
   for (SimTime at : clean) {
     if (at < msec(400) || at >= msec(600)) expected.push_back(at);
+  }
+  EXPECT_EQ(faulted, expected);
+}
+
+TEST_F(FaultInjectionTest, CrashWindowDropsAllTrafficIncludingInFlight) {
+  SimTransport t(sim_, latency_);
+  Collector c1;
+  Collector c2;
+  t.attach(1, &c1);
+  t.attach(2, &c2);
+
+  auto send_at = [&](SimTime when, NodeId from, NodeId to) {
+    sim_.schedule_at(when, [&t, from, to] {
+      Message m;
+      m.from = from;
+      m.to = to;
+      m.type = MsgType::intern("x");
+      t.send(std::move(m));
+    });
+  };
+
+  // Node 1 crashes at 100 ms and revives at 300 ms (latency is 10 ms).
+  sim_.schedule_at(msec(100), [&t] { t.crash_node(1, msec(100)); });
+  sim_.schedule_at(msec(300), [&t] { t.revive_node(1, msec(300)); });
+
+  send_at(msec(50), 0, 1);   // delivered before the crash
+  send_at(msec(95), 0, 1);   // IN FLIGHT at the crash: dies with the node
+  send_at(msec(95), 1, 2);   // in flight FROM the node at crash: dies too
+  send_at(msec(150), 0, 1);  // sent to a crashed node: dropped
+  send_at(msec(150), 1, 2);  // sent from a crashed node: dropped
+  send_at(msec(150), 0, 2);  // uninvolved pair: unaffected
+  send_at(msec(299), 0, 1);  // in flight across the revival: the crash
+                             // window overlaps its flight — still lost
+  send_at(msec(301), 0, 1);  // sent after the revival: delivered
+  send_at(msec(301), 1, 2);  // revived node sends again: delivered
+  sim_.run();
+
+  EXPECT_EQ(c1.received.size(), 2u);  // 50 ms and 301 ms sends
+  EXPECT_EQ(c2.received.size(), 2u);  // 0->2 and the post-revival 1->2
+  EXPECT_EQ(t.fault_dropped(), 5u);
+  EXPECT_EQ(t.dropped(), 0u);
+
+  EXPECT_FALSE(t.node_crashed(1, msec(99)));
+  EXPECT_TRUE(t.node_crashed(1, msec(100)));  // [at, ...) inclusive start
+  EXPECT_TRUE(t.node_crashed(1, msec(299)));
+  EXPECT_FALSE(t.node_crashed(1, msec(300)));  // revival instant is alive
+}
+
+TEST_F(FaultInjectionTest, RepeatedCrashWindowsAccumulatePerNode) {
+  SimTransport t(sim_, latency_);
+  Collector c;
+  t.attach(1, &c);
+  t.crash_node(1, msec(100));
+  t.crash_node(1, msec(150));  // idempotent while already down
+  t.revive_node(1, msec(200));
+  t.crash_node(1, msec(400));  // second life, second crash
+  t.revive_node(1, msec(500));
+
+  EXPECT_TRUE(t.node_crashed(1, msec(120)));
+  EXPECT_FALSE(t.node_crashed(1, msec(250)));
+  EXPECT_TRUE(t.node_crashed(1, msec(450)));
+  EXPECT_FALSE(t.node_crashed(1, msec(600)));
+
+  auto send_at = [&](SimTime when) {
+    sim_.schedule_at(when, [&t] {
+      Message m;
+      m.from = 0;
+      m.to = 1;
+      m.type = MsgType::intern("x");
+      t.send(std::move(m));
+    });
+  };
+  send_at(msec(120));  // first outage: dropped
+  send_at(msec(250));  // between outages: delivered
+  send_at(msec(450));  // second outage: dropped
+  send_at(msec(600));  // after: delivered
+  sim_.run();
+  EXPECT_EQ(c.received.size(), 2u);
+  EXPECT_EQ(t.fault_dropped(), 2u);
+}
+
+TEST_F(FaultInjectionTest, CrashWindowsDoNotPerturbTheLossStream) {
+  // Same RNG-stream preservation property the drop windows pin: a crash
+  // script must only subtract deliveries, never shift the loss/latency
+  // draws of the messages that still get through.
+  SimTransportOptions opts;
+  opts.loss_rate = 0.3;
+  opts.seed = 77;
+
+  auto run = [&](bool faulted) {
+    sim::Simulator sim;
+    sim::ConstantLatency latency{msec(10)};
+    SimTransport t(sim, latency, opts);
+    Collector c;
+    t.attach(1, &c);
+    if (faulted) {
+      t.crash_node(1, msec(400));
+      t.revive_node(1, msec(600));
+    }
+    for (int i = 0; i < 200; ++i) {
+      sim.schedule_at(msec(10) * i, [&t] {
+        Message m;
+        m.from = 0;
+        m.to = 1;
+        m.type = MsgType::intern("x");
+        t.send(std::move(m));
+      });
+    }
+    sim.run();
+    std::vector<SimTime> arrival_times;
+    for (const Message& m : c.received) arrival_times.push_back(m.sent_at);
+    return arrival_times;
+  };
+
+  const std::vector<SimTime> clean = run(false);
+  const std::vector<SimTime> faulted = run(true);
+  // Crash semantics act on the whole flight: the 390 ms send is still in
+  // the air at the 400 ms crash, so it dies too ([390, 400] overlaps the
+  // window), unlike a drop window's send-time-only evaluation.
+  std::vector<SimTime> expected;
+  for (SimTime at : clean) {
+    if (at < msec(390) || at >= msec(600)) expected.push_back(at);
   }
   EXPECT_EQ(faulted, expected);
 }

@@ -1,0 +1,345 @@
+/// \file crash_recovery_test.cpp
+/// \brief Crash-stop/restart fault model end to end: durable checkpoint
+///        engines, delta-based recovery via anti-entropy, and routing
+///        failover while members are down.
+///
+/// The acceptance scenario crashes k-1 of a file's replicas mid-workload
+/// under scripted loss, restarts them, and demands byte-identical content
+/// digests against a never-crashed control run of the same seed — crash
+/// and recovery must be invisible in the converged state.  A second
+/// scenario pins the O(delta) property: with a durable checkpoint the
+/// restarted replica heals only the checkpoint→crash gap over the wire,
+/// while the no-checkpoint control re-streams the whole log.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/session.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::shard {
+namespace {
+
+constexpr SimDuration kAePeriod = msec(500);
+
+ShardedClusterConfig crash_config(std::uint64_t seed,
+                                  replica::CheckpointEngineKind engine,
+                                  double loss_rate) {
+  ShardedClusterConfig cfg;
+  cfg.endpoints = 6;
+  cfg.replication = 3;
+  cfg.seed = seed;
+  cfg.transport.loss_rate = loss_rate;
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{50, 50, 50};
+  // On-demand mode, no hint: resolution never runs, so the converged
+  // contents depend only on the writes — crashing and healing replicas
+  // cannot change what the control run converges to.
+  cfg.idea.controller.mode = core::AdaptiveMode::kOnDemand;
+  cfg.idea.controller.hint = 0.0;
+  cfg.anti_entropy_period = kAePeriod;
+  cfg.checkpoint.engine = engine;
+  cfg.checkpoint.period = sec(1);
+  return cfg;
+}
+
+bool replicas_identical(ShardedCluster& cluster, FileId file) {
+  core::IdeaNode* coord = cluster.replica_at_rank(file, 0);
+  if (coord == nullptr) return false;
+  const auto k = static_cast<std::uint32_t>(cluster.group_of(file).size());
+  for (std::uint32_t rank = 1; rank < k; ++rank) {
+    core::IdeaNode* node = cluster.replica_at_rank(file, rank);
+    if (node == nullptr) return false;
+    if (node->store().evv().counts() != coord->store().evv().counts()) {
+      return false;
+    }
+    if (node->store().content_digest() != coord->store().content_digest()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int periods_to_convergence(ShardedCluster& cluster, FileId file,
+                           int max_periods) {
+  for (int period = 0; period <= max_periods; ++period) {
+    if (replicas_identical(cluster, file)) return period;
+    cluster.run_for(kAePeriod);
+  }
+  return -1;
+}
+
+TEST(CrashRecoveryTest, KillRestartMatchesNeverCrashedControlByteExactly) {
+  // k-1 = 2 of the file's three replicas crash mid-workload (staggered,
+  // overlapping) under probabilistic wire loss; both restart and recover
+  // from durable checkpoints + anti-entropy.  The converged digests must
+  // equal a control run that never crashed anything.
+  static constexpr FileId kFile = 3;
+  constexpr int kWrites = 40;
+  constexpr std::uint64_t kSeed = 2026;
+
+  CrashReport crash1, crash2;
+  RecoveryReport rec1, rec2;
+  auto run = [&](bool faulted) {
+    auto cluster = std::make_unique<ShardedCluster>(crash_config(
+        kSeed, replica::CheckpointEngineKind::kIncremental, 0.05));
+    cluster->ensure_open(kFile);
+    const std::vector<NodeId> group = cluster->group_of(kFile);
+    auto session = std::make_shared<client::ClientSession>(
+        *cluster, client::SessionOptions{});
+    // Writes route to the rank-0 coordinator, which never crashes here,
+    // so both runs issue the identical update sequence.
+    for (int i = 1; i <= kWrites; ++i) {
+      cluster->sim().schedule_at(msec(250) * i, [session, i] {
+        ASSERT_TRUE(session->put(kFile, "w" + std::to_string(i), 1.0).ok());
+      });
+    }
+    if (faulted) {
+      ShardedCluster* c = cluster.get();
+      cluster->sim().schedule_at(sec(3) + msec(100), [c, group, &crash1] {
+        crash1 = c->crash_endpoint(group[1]);
+      });
+      cluster->sim().schedule_at(sec(5) + msec(100), [c, group, &crash2] {
+        crash2 = c->crash_endpoint(group[2]);
+      });
+      cluster->sim().schedule_at(sec(7) + msec(50), [c, group, &rec1] {
+        rec1 = c->restart_endpoint(group[1]);
+      });
+      cluster->sim().schedule_at(sec(8) + msec(50), [c, group, &rec2] {
+        rec2 = c->restart_endpoint(group[2]);
+      });
+    }
+    cluster->run_until(sec(12));
+    return cluster;
+  };
+
+  auto faulted = run(true);
+  ASSERT_EQ(crash1.endpoint, faulted->group_of(kFile)[1]);
+  EXPECT_GE(crash1.groups_affected, 1u);
+  EXPECT_GT(crash1.volatile_updates_lost, 0u);
+  EXPECT_GE(rec1.files_recovered, 1u);
+  EXPECT_GE(rec1.checkpoint_files, 1u);
+  EXPECT_GT(rec1.checkpoint_updates, 0u);
+  EXPECT_GT(rec2.checkpoint_updates, 0u);
+  EXPECT_EQ(rec1.incarnation, 1u);  // second life of the slot
+  EXPECT_FALSE(faulted->is_crashed(crash1.endpoint));
+  EXPECT_GT(faulted->transport().fault_dropped(), 0u)
+      << "the crash windows never dropped anything — the fault script "
+         "did not bite";
+
+  const int periods = periods_to_convergence(*faulted, kFile, 8);
+  ASSERT_NE(periods, -1) << "replicas diverged after crash+restart";
+
+  auto control = run(false);
+  const int control_periods = periods_to_convergence(*control, kFile, 8);
+  ASSERT_NE(control_periods, -1);
+
+  core::IdeaNode* control_coord = control->replica_at_rank(kFile, 0);
+  ASSERT_NE(control_coord, nullptr);
+  EXPECT_EQ(control_coord->store().update_count(),
+            static_cast<std::size_t>(kWrites));
+  const std::uint64_t expected_digest =
+      control_coord->store().content_digest();
+  for (std::uint32_t rank = 0; rank < 3; ++rank) {
+    core::IdeaNode* node = faulted->replica_at_rank(kFile, rank);
+    ASSERT_NE(node, nullptr) << "rank " << rank;
+    EXPECT_EQ(node->store().update_count(),
+              static_cast<std::size_t>(kWrites))
+        << "rank " << rank;
+    EXPECT_EQ(node->store().content_digest(), expected_digest)
+        << "rank " << rank
+        << ": post-recovery contents differ from the never-crashed control";
+  }
+}
+
+TEST(CrashRecoveryTest, RecoveryStreamsTheDeltaNotTheLog) {
+  // Same crash at the same instant; the only difference is whether a
+  // durable checkpoint exists.  With one, the wire pays only for the
+  // checkpoint→crash gap; without, anti-entropy re-streams everything.
+  static constexpr FileId kFile = 3;
+  constexpr int kWrites = 40;
+
+  struct Outcome {
+    RecoveryReport recovery;
+    std::uint64_t repair_updates_applied = 0;
+    std::uint64_t migrate_updates_applied = 0;
+    std::size_t final_count = 0;
+    bool converged = false;
+  };
+  auto run = [&](replica::CheckpointEngineKind engine) {
+    ShardedCluster cluster(crash_config(7117, engine, /*loss_rate=*/0.0));
+    cluster.ensure_open(kFile);
+    const std::vector<NodeId> group = cluster.group_of(kFile);
+    client::ClientSession session(cluster, {});
+    for (int i = 1; i <= kWrites; ++i) {
+      cluster.sim().schedule_at(msec(250) * i, [&session, i] {
+        ASSERT_TRUE(session.put(kFile, "w" + std::to_string(i), 1.0).ok());
+      });
+    }
+    Outcome out;
+    // Crash shortly after the t=8s checkpoint: the durable image covers
+    // ~32 writes, the downtime covers ~4 — that is the delta.
+    cluster.sim().schedule_at(sec(8) + msec(300), [&cluster, group] {
+      cluster.crash_endpoint(group[1]);
+    });
+    cluster.sim().schedule_at(sec(9) + msec(50), [&cluster, group, &out] {
+      out.recovery = cluster.restart_endpoint(group[1]);
+    });
+    cluster.run_until(sec(12));
+    for (int period = 0; period < 8 && !replicas_identical(cluster, kFile);
+         ++period) {
+      cluster.run_for(kAePeriod);
+    }
+    out.converged = replicas_identical(cluster, kFile);
+    const ReplicaSyncStats& s = cluster.sync_agent(kFile, 1)->stats();
+    out.repair_updates_applied = s.repair_updates_applied;
+    out.migrate_updates_applied = s.migrate_updates_applied;
+    out.final_count = cluster.replica_at_rank(kFile, 1)->store().update_count();
+    return out;
+  };
+
+  const Outcome with_ckpt = run(replica::CheckpointEngineKind::kIncremental);
+  const Outcome without = run(replica::CheckpointEngineKind::kNone);
+
+  ASSERT_TRUE(with_ckpt.converged);
+  ASSERT_TRUE(without.converged);
+  EXPECT_EQ(with_ckpt.final_count, static_cast<std::size_t>(kWrites));
+  EXPECT_EQ(without.final_count, static_cast<std::size_t>(kWrites));
+
+  // The checkpointed recovery reloaded most of the log from durable
+  // storage without touching the wire...
+  EXPECT_GE(with_ckpt.recovery.checkpoint_updates, 28u);
+  EXPECT_LE(with_ckpt.recovery.gap_updates, 10u);
+  // ...so its repair traffic is the delta, not the history.
+  EXPECT_LE(with_ckpt.repair_updates_applied, 10u);
+  // The no-checkpoint control restarts empty and re-streams ~everything.
+  EXPECT_EQ(without.recovery.checkpoint_files, 0u);
+  EXPECT_EQ(without.recovery.checkpoint_updates, 0u);
+  EXPECT_GE(without.repair_updates_applied, 30u);
+  EXPECT_GT(without.repair_updates_applied,
+            3 * with_ckpt.repair_updates_applied);
+  // Recovery never uses the migration stream.
+  EXPECT_EQ(with_ckpt.migrate_updates_applied, 0u);
+  EXPECT_EQ(without.migrate_updates_applied, 0u);
+}
+
+TEST(CrashRecoveryTest, CoordinatorCrashFailsOverAndRestartsWithoutSeqReuse) {
+  constexpr FileId kFile = 5;
+  ShardedCluster cluster(crash_config(
+      909, replica::CheckpointEngineKind::kIncremental, /*loss_rate=*/0.0));
+  cluster.ensure_open(kFile);
+  const std::vector<NodeId> group = cluster.group_of(kFile);
+  client::ClientSession session(cluster, {});
+
+  // Phase 1: ten writes through the real coordinator (rank 0).
+  for (int i = 1; i <= 10; ++i) {
+    cluster.sim().schedule_at(msec(300) * i, [&session, i] {
+      ASSERT_TRUE(session.put(kFile, "a" + std::to_string(i), 1.0).ok());
+    });
+  }
+  cluster.run_until(sec(3) + msec(400));
+  cluster.crash_endpoint(group[0]);
+  EXPECT_TRUE(cluster.is_crashed(group[0]));
+
+  // Phase 2: writes and strong reads keep working through the acting
+  // coordinator (lowest alive rank).
+  for (int i = 1; i <= 10; ++i) {
+    cluster.sim().schedule_at(sec(3) + msec(500) + msec(300) * i,
+                              [&session, i] {
+                                ASSERT_TRUE(session
+                                                .put(kFile,
+                                                     "b" + std::to_string(i),
+                                                     1.0)
+                                                .ok());
+                              });
+  }
+  cluster.run_until(sec(6) + msec(600));
+  const client::OpHandle<client::ReadResult> read =
+      session.read(kFile, client::ConsistencyLevel::strong());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->served_by, group[1]) << "strong read must fail over to "
+                                          "the acting coordinator";
+  EXPECT_EQ(cluster.router().stats().failover_writes, 10u);
+
+  // Phase 3: restart.  The old coordinator re-adopts its own writer
+  // history (checkpoint + survivor reconciliation) and resumes rank 0.
+  const RecoveryReport rec = cluster.restart_endpoint(group[0]);
+  EXPECT_GE(rec.checkpoint_files, 1u);
+  EXPECT_GT(rec.checkpoint_updates + rec.reconciled_updates, 0u);
+  core::IdeaNode* restarted = cluster.replica_at_rank(kFile, 0);
+  ASSERT_NE(restarted, nullptr);
+  // Sequence continuation: its next write must be seq 11, not a reused 1.
+  EXPECT_EQ(restarted->store().local_seq(), 10u);
+
+  cluster.sim().schedule_at(cluster.sim().now() + msec(100), [&session] {
+    ASSERT_TRUE(session.put(kFile, "post", 1.0).ok());
+  });
+  cluster.run_for(sec(1));
+  const replica::Update* post =
+      restarted->store().find(replica::UpdateKey{0, 11});
+  ASSERT_NE(post, nullptr);
+  EXPECT_EQ(post->content, "post");
+
+  for (int period = 0; period < 10 && !replicas_identical(cluster, kFile);
+       ++period) {
+    cluster.run_for(kAePeriod);
+  }
+  ASSERT_TRUE(replicas_identical(cluster, kFile));
+  EXPECT_EQ(restarted->store().update_count(), 21u);
+}
+
+TEST(CrashRecoveryTest, CheckpointEnginesAndDurableStorageSemantics) {
+  ShardedCluster cluster(crash_config(
+      44, replica::CheckpointEngineKind::kIncremental, /*loss_rate=*/0.0));
+  constexpr FileId kFile = 2;
+  cluster.ensure_open(kFile);
+  const std::vector<NodeId> group = cluster.group_of(kFile);
+  client::ClientSession session(cluster, {});
+  ASSERT_TRUE(session.put(kFile, "x", 1.0).ok());
+  cluster.run_for(msec(200));  // let the push land everywhere
+
+  replica::DurableStorage& storage = cluster.durable_storage();
+  ASSERT_NE(cluster.checkpoint_engine(), nullptr);
+  EXPECT_STREQ(cluster.checkpoint_engine()->name(), "incremental");
+
+  // First manual pass persists the dirty replica; the second, with no
+  // writes in between, skips it as clean.
+  cluster.checkpoint_endpoint(group[0]);
+  const replica::CheckpointRecord* first = storage.latest(group[0], kFile);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(first->updates.size(), 1u);
+  EXPECT_EQ(first->members, group);
+  EXPECT_GT(first->bytes, 0u);
+
+  const std::uint64_t written_before = storage.records_written();
+  cluster.checkpoint_endpoint(group[0]);
+  EXPECT_EQ(storage.records_written(), written_before)
+      << "clean replica must not be re-persisted by the incremental engine";
+  EXPECT_GT(cluster.checkpoint_engine()->totals().files_clean, 0u);
+
+  // A new write dirties it again; retention keeps the newest `retain`.
+  ASSERT_TRUE(session.put(kFile, "y", 1.0).ok());
+  cluster.checkpoint_endpoint(group[0]);
+  ASSERT_TRUE(session.put(kFile, "z", 1.0).ok());
+  cluster.checkpoint_endpoint(group[0]);
+  const replica::CheckpointRecord* newest = storage.latest(group[0], kFile);
+  ASSERT_NE(newest, nullptr);
+  EXPECT_EQ(newest->epoch, 3u);
+  EXPECT_EQ(newest->updates.size(), 3u);
+  EXPECT_LE(storage.record_count(),
+            static_cast<std::size_t>(cluster.config().checkpoint.retain) *
+                cluster.config().endpoints * 4);
+
+  // The periodic timers are armed for every endpoint (enabled() config),
+  // so simply running the clock also writes records for the other ranks.
+  cluster.run_for(sec(2) + msec(100));
+  EXPECT_NE(storage.latest(group[1], kFile), nullptr);
+  EXPECT_NE(storage.latest(group[2], kFile), nullptr);
+}
+
+}  // namespace
+}  // namespace idea::shard
