@@ -1,22 +1,32 @@
 /// \file read_policies.cpp
-/// \brief Read latency vs observed staleness across the four consistency
-///        levels — the trade-off the session API lets applications pick.
+/// \brief The R×W tunable-consistency matrix: read latency vs observed
+///        staleness across the four consistency levels crossed with the
+///        write concerns — the trade-off surface the session API lets
+///        applications pick a point on.
 ///
-/// One deployment per level (32 endpoints, k=3, anti-entropy on, live
-/// write stream), same seed: clients attached at every endpoint read a
-/// rotating set of files under the level being measured.  Reported per
-/// level: client-observed read latency (mean/p95) and observed staleness
-/// (versions the served view lagged the coordinator by at serve time) —
-/// both sourced from the obs::MetricsRegistry the deployment records into
-/// (the per-level session.read.* histograms), not from bench-local
-/// tallies, so the bench exercises the same numbers operators would read.
+/// One deployment per matrix cell (32 endpoints, k=3, anti-entropy on,
+/// live write stream), same seed: clients attached at every endpoint
+/// read a Zipf-like read-heavy workload (each reader favors one hot
+/// file) under the level being measured, while the writer runs under the
+/// cell's WriteConcern.  Reported per cell: client-observed read latency
+/// (mean/p95), observed staleness (versions behind the coordinator at
+/// serve time), write-ack latency and failures, and — for the cached
+/// cell — the session read-cache hit rate.  Everything is sourced from
+/// the obs::MetricsRegistry the deployment records into (the per-level
+/// session.* histograms), not from bench-local tallies, so the bench
+/// exercises the same numbers operators would read.
 ///
 /// Strong pays the full coordinator round trip at staleness 0; Eventual
 /// serves the nearest replica at whatever staleness it has; Bounded sits
-/// between (escalating when the bound would be violated); Quorum pays the
-/// slowest of a majority fan-out for staleness 0 without pinning load to
-/// the coordinator.  Emits BENCH_read_policies.json for the CI perf
-/// trajectory.
+/// between (escalating when the bound would be violated); Quorum pays
+/// the slowest of a majority fan-out for staleness 0 without pinning
+/// load to the coordinator.  On the write side, w=majority trades ack
+/// latency (a replication round trip instead of a one-way estimate) for
+/// durability — and quorum_majority × w=majority is the R+W>N cell whose
+/// reads survive any single stale replica.  The bounded_2v_cached cell
+/// serves repeat reads from the session cache while provably inside the
+/// declared age bound, with zero router traffic.  Emits
+/// BENCH_read_policies.json for the CI perf trajectory.
 ///
 ///   $ ./read_policies [--endpoints 32] [--files 256] [--sim-secs 12]
 ///                     [--seed 2007] [--smoke] [--json FILE]
@@ -45,6 +55,15 @@ struct Setup {
   std::uint64_t seed = 2007;
 };
 
+/// One cell of the R×W matrix: a read level crossed with a write
+/// concern (and optionally the session read cache).
+struct Cell {
+  std::string name;
+  client::ConsistencyLevel level;
+  client::WriteConcern concern;
+  bool cache_reads = false;
+};
+
 struct LevelResult {
   std::string name;
   std::uint64_t reads = 0;
@@ -56,6 +75,14 @@ struct LevelResult {
   std::uint64_t escalations = 0;
   /// Routing detail the registry doesn't key by file — tallied locally.
   std::uint64_t coordinator_served = 0;
+  // Write side (per the cell's WriteConcern).
+  std::uint32_t w = 1;
+  std::uint64_t writes = 0;
+  double mean_write_latency_ms = 0.0;
+  double p95_write_latency_ms = 0.0;
+  std::uint64_t wack_failed = 0;  ///< Concerns abandoned at give-up.
+  // Session read cache (bounded_2v_cached cell only).
+  std::uint64_t cache_hits = 0;
 };
 
 /// The per-level metric-name suffix the session layer records under
@@ -74,8 +101,8 @@ const char* level_suffix(const client::ConsistencyLevel& level) {
   return "?";
 }
 
-LevelResult run_level(const Setup& s, const std::string& name,
-                      const client::ConsistencyLevel& level) {
+LevelResult run_level(const Setup& s, const Cell& cell) {
+  const client::ConsistencyLevel& level = cell.level;
   shard::ShardedClusterConfig cfg;
   cfg.endpoints = s.endpoints;
   cfg.replication = 3;
@@ -95,7 +122,11 @@ LevelResult run_level(const Setup& s, const std::string& name,
   cluster->place(1, s.files);
 
   client::Client client(*cluster);
-  client::ClientSession writer = client.session();
+  // The writer attaches at endpoint 0 so both ack flavors report a
+  // client-observed latency (a kNoNode origin models co-location and
+  // would zero out the w = 1 one-way estimate).
+  client::ClientSession writer =
+      client.session({.write_concern = cell.concern, .origin = 0});
 
   // Scripted loss windows (1.2 s of full loss every 3 s): replication
   // pushes issued inside a window drop, so the written files' replicas
@@ -127,19 +158,27 @@ LevelResult run_level(const Setup& s, const std::string& name,
   // the measured level — half the reads on the hot set (where staleness
   // lives), half across the whole keyspace.
   LevelResult result;
-  result.name = name;
+  result.name = cell.name;
+  result.w = cell.concern.w;
   std::vector<client::ClientSession> readers;
   readers.reserve(s.endpoints);
   for (NodeId origin = 0; origin < s.endpoints; ++origin) {
-    readers.push_back(client.session({.level = level, .origin = origin}));
+    readers.push_back(client.session({.level = level,
+                                      .origin = origin,
+                                      .cache_reads = cell.cache_reads}));
   }
+  // Zipf-like read-heavy skew: each reader favors one hot file (75% of
+  // its reads) and scatters the rest over the whole keyspace.  Repeat
+  // reads of the favorite are what the session cache can serve
+  // router-free while inside the declared bound.
   Rng pick(mix64(s.seed ^ 0x5EAD5ULL));
   std::function<void()> read_tick = [&] {
-    for (client::ClientSession& reader : readers) {
-      const FileId f =
-          1 + static_cast<FileId>(pick.chance(0.5)
-                                      ? pick.next_below(hot)
-                                      : pick.next_below(s.files));
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      client::ClientSession& reader = readers[i];
+      const FileId favorite = 1 + static_cast<FileId>(i % hot);
+      const FileId f = pick.chance(0.75)
+                           ? favorite
+                           : 1 + static_cast<FileId>(pick.next_below(s.files));
       const client::OpHandle<client::ReadResult> h = reader.read(f);
       if (!h.ok()) continue;
       if (h->served_by == cluster->coordinator_endpoint(f)) {
@@ -176,14 +215,29 @@ LevelResult run_level(const Setup& s, const std::string& name,
       reg.counter(obs::MetricId::intern("session.read.stale"));
   result.escalations =
       reg.counter(obs::MetricId::intern("session.read.escalated"));
+  // Write side: under w = 1 the ack is a one-way distance estimate; under
+  // w > 1 it is the measured replication round trip to the ack quorum.
+  result.writes = reg.counter(obs::MetricId::intern("session.puts"));
+  const obs::Histogram* wlat = reg.histogram(obs::MetricId::intern(
+      cell.concern.w == 1 ? "session.put.latency_us"
+                          : "session.put.wack_latency_us"));
+  if (wlat != nullptr) {
+    result.mean_write_latency_ms = wlat->mean() / 1000.0;
+    result.p95_write_latency_ms = wlat->quantile(0.95) / 1000.0;
+  }
+  result.wack_failed =
+      reg.counter(obs::MetricId::intern("session.put.wack_failed"));
+  result.cache_hits =
+      reg.counter(obs::MetricId::intern("session.read.cache_hits"));
   return result;
 }
 
 void print_row(LevelResult& r) {
   std::printf(
-      "%-18s %7" PRIu64 " reads  lat %6.1f ms mean / %6.1f ms p95   "
-      "staleness %5.2f mean / %3" PRIu64 " max (%4.1f%% stale reads)   "
-      "%5.1f%% coord-served  %" PRIu64 " escalations\n",
+      "%-24s %7" PRIu64 " reads  lat %6.1f ms mean / %6.1f ms p95   "
+      "staleness %5.2f mean / %3" PRIu64 " max (%4.1f%% stale)   "
+      "%5.1f%% coord  %" PRIu64 " esc   "
+      "w=%s ack %6.1f ms mean (%" PRIu64 " failed)",
       r.name.c_str(), r.reads, r.mean_latency_ms, r.p95_latency_ms,
       r.mean_staleness, r.staleness_max,
       r.reads == 0 ? 0.0
@@ -192,7 +246,15 @@ void print_row(LevelResult& r) {
       r.reads == 0 ? 0.0
                    : 100.0 * static_cast<double>(r.coordinator_served) /
                          static_cast<double>(r.reads),
-      r.escalations);
+      r.escalations, r.w == 0 ? "maj" : "1", r.mean_write_latency_ms,
+      r.wack_failed);
+  if (r.cache_hits > 0) {
+    std::printf("   cache %4.1f%% hit",
+                r.reads == 0 ? 0.0
+                             : 100.0 * static_cast<double>(r.cache_hits) /
+                                   static_cast<double>(r.reads));
+  }
+  std::printf("\n");
 }
 
 void write_json(const std::string& path, bool smoke, const Setup& s,
@@ -224,9 +286,22 @@ void write_json(const std::string& path, bool smoke, const Setup& s,
                               : static_cast<double>(r.stale_reads) /
                                     static_cast<double>(r.reads));
     std::fprintf(f, "      \"escalations\": %" PRIu64 ",\n", r.escalations);
-    std::fprintf(f, "      \"coordinator_served_fraction\": %.4f\n",
+    std::fprintf(f, "      \"coordinator_served_fraction\": %.4f,\n",
                  r.reads == 0 ? 0.0
                               : static_cast<double>(r.coordinator_served) /
+                                    static_cast<double>(r.reads));
+    std::fprintf(f, "      \"write_w\": %s,\n",
+                 r.w == 0 ? "\"majority\"" : "1");
+    std::fprintf(f, "      \"writes\": %" PRIu64 ",\n", r.writes);
+    std::fprintf(f, "      \"mean_write_latency_ms\": %.2f,\n",
+                 r.mean_write_latency_ms);
+    std::fprintf(f, "      \"p95_write_latency_ms\": %.2f,\n",
+                 r.p95_write_latency_ms);
+    std::fprintf(f, "      \"wack_failed\": %" PRIu64 ",\n", r.wack_failed);
+    std::fprintf(f, "      \"cache_hits\": %" PRIu64 ",\n", r.cache_hits);
+    std::fprintf(f, "      \"cache_hit_rate\": %.4f\n",
+                 r.reads == 0 ? 0.0
+                              : static_cast<double>(r.cache_hits) /
                                     static_cast<double>(r.reads));
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -253,19 +328,37 @@ int main(int argc, char** argv) {
   s.sim_secs = flags.get_double("sim-secs", smoke ? 6.0 : 12.0);
   s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2007));
 
-  std::printf("read policies: %u endpoints, %u files, k=3, %.0f sim-secs, "
-              "seed %" PRIu64 "\n\n",
+  std::printf("read policies (R x W matrix): %u endpoints, %u files, k=3, "
+              "%.0f sim-secs, seed %" PRIu64 "\n\n",
               s.endpoints, s.files, s.sim_secs, s.seed);
 
+  const auto w1 = client::WriteConcern::one();
+  const auto wmaj = client::WriteConcern::majority();
+  // The w=1 rows keep their historical names (JSON key continuity for
+  // the perf trajectory); the w=majority duals and the cached cell
+  // extend the matrix.  bounded cells declare a 2-version bound; the
+  // cached cell adds a 2 s age bound, the lease its hits are provable
+  // under.
+  const std::vector<Cell> cells = {
+      {"strong", client::ConsistencyLevel::strong(), w1, false},
+      {"strong_wmaj", client::ConsistencyLevel::strong(), wmaj, false},
+      {"bounded_2v", client::ConsistencyLevel::bounded_staleness(2), w1,
+       false},
+      {"bounded_2v_wmaj", client::ConsistencyLevel::bounded_staleness(2),
+       wmaj, false},
+      {"bounded_2v_cached",
+       client::ConsistencyLevel::bounded_staleness(2, sec(2)), w1, true},
+      {"eventual_nearest", client::ConsistencyLevel::eventual_nearest(), w1,
+       false},
+      {"eventual_nearest_wmaj", client::ConsistencyLevel::eventual_nearest(),
+       wmaj, false},
+      {"quorum_majority", client::ConsistencyLevel::quorum(), w1, false},
+      {"quorum_majority_wmaj", client::ConsistencyLevel::quorum(), wmaj,
+       false},  // R + W > N: reads survive any single stale replica
+  };
   std::vector<LevelResult> results;
-  results.push_back(
-      run_level(s, "strong", client::ConsistencyLevel::strong()));
-  results.push_back(run_level(s, "bounded_2v",
-                              client::ConsistencyLevel::bounded_staleness(2)));
-  results.push_back(run_level(s, "eventual_nearest",
-                              client::ConsistencyLevel::eventual_nearest()));
-  results.push_back(
-      run_level(s, "quorum_majority", client::ConsistencyLevel::quorum()));
+  results.reserve(cells.size());
+  for (const Cell& cell : cells) results.push_back(run_level(s, cell));
   for (LevelResult& r : results) print_row(r);
 
   write_json(flags.get_string("json", "BENCH_read_policies.json"), smoke, s,

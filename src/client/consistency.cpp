@@ -18,4 +18,10 @@ std::string ConsistencyLevel::describe() const {
   return "?";
 }
 
+std::string WriteConcern::describe() const {
+  if (w == 0) return "w(majority)";
+  if (w == UINT32_MAX) return "w(all)";
+  return "w(" + std::to_string(w) + ")";
+}
+
 }  // namespace idea::client

@@ -17,11 +17,12 @@
 ///  * EventualNearest   — latency-model-aware nearest replica, whatever
 ///                        its freshness.
 ///  * Quorum            — fan out to r replicas, merge their logs by
-///                        version vector, return the freshest view.  The
-///                        write path acks at the coordinator (W = 1), so
-///                        read quorums always include the coordinator —
-///                        R ∩ W ≠ ∅ by construction, which is what makes
-///                        Quorum reads never older than any acked write.
+///                        version vector, return the freshest view.  Read
+///                        quorums always include the acting coordinator,
+///                        so with the default W = 1 write side R ∩ W ≠ ∅
+///                        by construction; declaring WriteConcern{w} with
+///                        R + W > N keeps that intersection through any
+///                        single replica failure as well.
 
 #include <cstdint>
 #include <memory>
@@ -82,6 +83,41 @@ struct ConsistencyLevel {
 
   friend bool operator==(const ConsistencyLevel&,
                          const ConsistencyLevel&) = default;
+};
+
+/// Declared write-side durability: how many replica applies a put must
+/// collect before its OpHandle completes.  The read-side dual of
+/// ConsistencyLevel — together they span the R×W matrix (R + W > N makes
+/// quorum reads immune to any single stale replica, because every read
+/// quorum intersects every write quorum).
+///
+///  * w = 1 (default) — ack at the coordinator alone: today's behavior,
+///    byte-identical to the pre-WriteConcern write path.
+///  * w = 0           — majority (k/2 + 1), mirroring Quorum{r = 0}.
+///  * w = n           — n applies, clamped to the group size.
+///
+/// When a group member sits inside a crash window the coordinator may
+/// count a *hinted* stand-in toward w (a sloppy quorum): the update is
+/// durably parked at a live non-member and drains back through
+/// anti-entropy when the member returns.
+struct WriteConcern {
+  /// Replica applies (coordinator included) required to ack; 0 = majority.
+  std::uint32_t w = 1;
+
+  [[nodiscard]] static WriteConcern one() { return {1}; }
+  [[nodiscard]] static WriteConcern majority() { return {0}; }
+  /// Every group member (clamped to k at dispatch time).
+  [[nodiscard]] static WriteConcern all() { return {UINT32_MAX}; }
+
+  /// The ack target for a replica group of `k`.
+  [[nodiscard]] std::uint32_t resolve(std::uint32_t k) const {
+    const std::uint32_t target = w == 0 ? k / 2 + 1 : w;
+    return target < 1 ? 1 : (target > k ? k : target);
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const WriteConcern&, const WriteConcern&) = default;
 };
 
 /// What one routed read returned, beyond the data itself: where it was

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
@@ -27,8 +28,20 @@ class OpHandle {
   OpHandle() = default;
 
   OpHandle(sim::Simulator& sim, T value, SimDuration latency, bool ok)
-      : state_(std::make_shared<State>(
-            State{&sim, std::move(value), sim.now(), latency, ok})) {}
+      : state_(std::make_shared<State>(State{&sim, std::move(value), sim.now(),
+                                             latency, ok, /*resolved=*/true,
+                                             {}})) {}
+
+  /// A handle whose completion instant is not yet known — a write waiting
+  /// on a replication ack quorum rather than a modeled round trip.  The
+  /// value carries the issue-time view; resolve() later fixes the final
+  /// value, latency and outcome.  Until then done() is false and
+  /// on_complete() callbacks queue.
+  [[nodiscard]] static OpHandle pending(sim::Simulator& sim, T value) {
+    OpHandle h(sim, std::move(value), /*latency=*/0, /*ok=*/false);
+    h.state_->resolved = false;
+    return h;
+  }
 
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
 
@@ -52,10 +65,15 @@ class OpHandle {
     return issued_at() + latency();
   }
 
-  /// Whether the simulator clock has passed the completion instant.
+  /// Whether the simulator clock has passed the completion instant.  A
+  /// pending handle is never done until resolve() fixes that instant.
   [[nodiscard]] bool done() const {
-    return valid() && state_->sim->now() >= ready_at();
+    return valid() && state_->resolved && state_->sim->now() >= ready_at();
   }
+
+  /// Whether the completion instant is known yet (always true for
+  /// fixed-latency handles; false for a pending() handle before resolve).
+  [[nodiscard]] bool resolved() const { return valid() && state_->resolved; }
 
   [[nodiscard]] const T& value() const {
     assert(valid());
@@ -64,11 +82,40 @@ class OpHandle {
   [[nodiscard]] const T& operator*() const { return value(); }
   [[nodiscard]] const T* operator->() const { return &value(); }
 
+  /// Mutable view of the value for the layer driving a pending handle
+  /// (the session fills in ack counts before resolving).
+  [[nodiscard]] T& mutable_value() const {
+    assert(valid());
+    return state_->value;
+  }
+
+  /// Fix a pending handle's outcome: completion lands `latency` after
+  /// issue (clamped so it never completes in the past), and queued
+  /// on_complete callbacks are dispatched.  No-op on an already-resolved
+  /// handle, so the resolving layer need not track double fires.
+  void resolve(SimDuration latency, bool ok) const {
+    assert(valid());
+    if (state_->resolved) return;
+    const SimTime now = state_->sim->now();
+    if (state_->issued_at + latency < now) latency = now - state_->issued_at;
+    state_->latency = latency;
+    state_->ok = ok;
+    state_->resolved = true;
+    std::vector<std::function<void(const OpHandle&)>> waiters;
+    waiters.swap(state_->waiters);
+    for (auto& fn : waiters) on_complete(std::move(fn));
+  }
+
   /// Run `fn` when the operation completes on the simulator clock —
-  /// synchronously if it already has, else via a scheduled event.  The
+  /// synchronously if it already has, else via a scheduled event (or, for
+  /// a pending handle, queued until resolve() fixes the instant).  The
   /// callback receives this handle (keeping the state alive).
   void on_complete(std::function<void(const OpHandle&)> fn) const {
     assert(valid());
+    if (!state_->resolved) {
+      state_->waiters.push_back(std::move(fn));
+      return;
+    }
     if (done()) {
       fn(*this);
       return;
@@ -84,6 +131,9 @@ class OpHandle {
     SimTime issued_at;
     SimDuration latency;
     bool ok;
+    bool resolved = true;
+    /// Callbacks parked on a pending handle until resolve().
+    std::vector<std::function<void(const OpHandle&)>> waiters;
   };
 
   std::shared_ptr<State> state_;

@@ -39,6 +39,11 @@ struct SessionMetrics {
   obs::MetricId escalated = obs::MetricId::intern("session.read.escalated");
   obs::MetricId stale = obs::MetricId::intern("session.read.stale");
   obs::MetricId put_latency = obs::MetricId::intern("session.put.latency_us");
+  obs::MetricId wack_latency =
+      obs::MetricId::intern("session.put.wack_latency_us");
+  obs::MetricId wack_failed =
+      obs::MetricId::intern("session.put.wack_failed");
+  obs::MetricId cache_hits = obs::MetricId::intern("session.read.cache_hits");
 };
 
 const SessionMetrics& session_metrics() {
@@ -50,10 +55,22 @@ const SessionMetrics& session_metrics() {
 
 ClientSession::ClientSession(shard::ShardedCluster& cluster,
                              SessionOptions options)
-    : cluster_(cluster), options_(options) {}
+    : cluster_(cluster),
+      options_(options),
+      stats_(std::make_shared<SessionStats>()) {}
 
 OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
                                       double meta_delta) {
+  return put(file, std::move(content), meta_delta, options_.write_concern);
+}
+
+OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
+                                      double meta_delta,
+                                      const WriteConcern& concern) {
+  // Read-your-writes: the session's own write makes any cached snapshot
+  // of the file unservable (it cannot contain this update).
+  cache_.erase(file);
+
   obs::Observability* o = cluster_.obs();
   obs::TraceContext tc;
   if (o != nullptr && o->tracer() != nullptr &&
@@ -64,28 +81,87 @@ OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
   }
   ++ops_;
 
-  const bool applied =
-      cluster_.router().write(file, std::move(content), meta_delta, tc);
-  const NodeId coordinator = cluster_.coordinator_endpoint(file);
-  applied ? ++stats_.puts : ++stats_.blocked_puts;
-  // The write acks from the coordinator: one round trip from the
-  // client's origin (the replication fan-out proceeds asynchronously),
-  // estimated by the router's distance model like every read.
-  const SimDuration latency =
-      coordinator == kNoNode
-          ? 0
-          : cluster_.router().rtt(options_.origin, coordinator);
-  if (o != nullptr && applied) {
-    obs::Meter meter = o->cluster_meter();
-    meter.add(session_metrics().puts);
-    meter.observe(session_metrics().put_latency,
-                  static_cast<std::uint64_t>(latency));
+  if (concern.w == 1) {
+    // Default concern: the pre-WriteConcern path, byte-identical on the
+    // wire (no want_ack flags, no pending-ack tracking beyond resends).
+    const bool applied =
+        cluster_.router().write(file, std::move(content), meta_delta, tc);
+    const NodeId coordinator = cluster_.coordinator_endpoint(file);
+    applied ? ++stats_->puts : ++stats_->blocked_puts;
+    // The write acks from the coordinator: one round trip from the
+    // client's origin (the replication fan-out proceeds asynchronously),
+    // estimated by the router's distance model like every read.
+    const SimDuration latency =
+        coordinator == kNoNode
+            ? 0
+            : cluster_.router().rtt(options_.origin, coordinator);
+    if (o != nullptr && applied) {
+      obs::Meter meter = o->cluster_meter();
+      meter.add(session_metrics().puts);
+      meter.observe(session_metrics().put_latency,
+                    static_cast<std::uint64_t>(latency));
+    }
+    if (tc.active()) {
+      o->tracer()->end_span(tc.span, cluster_.sim().now() + latency);
+    }
+    return OpHandle<WriteAck>(
+        cluster_.sim(),
+        WriteAck{applied, coordinator, applied ? 1u : 0u, 0, applied},
+        latency, applied);
   }
-  if (tc.active()) {
-    o->tracer()->end_span(tc.span, cluster_.sim().now() + latency);
-  }
-  return OpHandle<WriteAck>(cluster_.sim(), WriteAck{applied, coordinator},
-                            latency, applied);
+
+  // w > 1: the handle stays pending until the coordinator confirms w
+  // replica applies (hinted stand-ins counting), or the replication
+  // budget gives up.  The callback fires exactly once — possibly
+  // synchronously, inside write_with_concern.
+  ++stats_->wack_puts;
+  OpHandle<WriteAck> handle =
+      OpHandle<WriteAck>::pending(cluster_.sim(), WriteAck{});
+  shard::ShardedCluster* cluster = &cluster_;
+  cluster_.router().write_with_concern(
+      file, std::move(content), meta_delta, concern,
+      [handle, stats = stats_, cluster, o, tc, origin = options_.origin](
+          bool satisfied, std::uint32_t acks, std::uint32_t hinted,
+          NodeId coordinator) {
+        WriteAck& ack = handle.mutable_value();
+        ack.applied = acks >= 1;
+        ack.coordinator = coordinator;
+        ack.acks = acks;
+        ack.hinted = hinted;
+        ack.w_satisfied = satisfied;
+        ack.applied ? ++stats->puts : ++stats->blocked_puts;
+        if (!satisfied) ++stats->wack_failed_puts;
+        if (hinted > 0) ++stats->hinted_puts;
+        // Client-observed latency: the replication time already elapsed
+        // on the sim clock, plus the ack's trip back to the client —
+        // never less than a plain round trip (the synchronous case,
+        // where nothing has elapsed yet).  On failure the router may be
+        // mid-teardown, so skip the distance model; resolve() clamps
+        // the latency up to the elapsed give-up budget.
+        SimDuration latency = 0;
+        if (satisfied && coordinator != kNoNode) {
+          const SimDuration rtt = cluster->router().rtt(origin, coordinator);
+          const SimDuration elapsed =
+              cluster->sim().now() - handle.issued_at();
+          latency = std::max(rtt, elapsed + rtt / 2);
+        }
+        handle.resolve(latency, satisfied);
+        if (o != nullptr) {
+          obs::Meter meter = o->cluster_meter();
+          if (ack.applied) meter.add(session_metrics().puts);
+          if (satisfied) {
+            meter.observe(session_metrics().wack_latency,
+                          static_cast<std::uint64_t>(handle.latency()));
+          } else {
+            meter.add(session_metrics().wack_failed);
+          }
+        }
+        if (tc.active()) {
+          o->tracer()->end_span(tc.span, handle.ready_at());
+        }
+      },
+      tc);
+  return handle;
 }
 
 OpHandle<ReadResult> ClientSession::read(FileId file) {
@@ -95,6 +171,51 @@ OpHandle<ReadResult> ClientSession::read(FileId file) {
 OpHandle<ReadResult> ClientSession::read(FileId file,
                                          const ConsistencyLevel& level) {
   obs::Observability* o = cluster_.obs();
+  // Session read cache: serve a repeat read from the last snapshot with
+  // zero router traffic iff the snapshot is *provably* inside the
+  // declared bound.  Only the age bound is provable without contacting
+  // the cluster — a cached view's staleness age grows exactly with the
+  // sim clock — so hits require BoundedStaleness with max_age > 0; the
+  // versions bound was enforced when the snapshot was originally served.
+  if (options_.cache_reads && level.level == Level::kBoundedStaleness &&
+      level.max_age > 0) {
+    auto it = cache_.find(file);
+    if (it != cache_.end()) {
+      const SimTime now = cluster_.sim().now();
+      const SimDuration age = it->second.snapshot.staleness_age +
+                              (now - it->second.served_at);
+      if (age <= level.max_age) {
+        ++ops_;
+        ++stats_->reads;
+        ++stats_->cache_hits;
+        ReadResult result = it->second.snapshot;
+        result.staleness_age = age;
+        result.latency = 0;  // local, no routed round trip
+        stats_->staleness_versions_total += result.staleness_versions;
+        if (o != nullptr) {
+          obs::Meter meter = o->cluster_meter();
+          meter.add(session_metrics().reads);
+          meter.add(session_metrics().cache_hits);
+          // A hit is a real client-observed read: latency 0, staleness
+          // as measured at the original serve — recorded into the same
+          // per-level histograms as routed reads so operators (and the
+          // bench) see the cache's effect, not a gap.
+          meter.observe(read_latency_metric(level.level), 0);
+          meter.observe(read_staleness_metric(level.level),
+                        result.staleness_versions);
+          if (result.staleness_versions > 0) {
+            meter.add(session_metrics().stale);
+          }
+        }
+        return OpHandle<ReadResult>(cluster_.sim(), std::move(result),
+                                    /*latency=*/0, /*ok=*/true);
+      }
+      // Aged past the declared bound: the snapshot can never be served
+      // under this level again (age only grows).
+      ++stats_->cache_expiries;
+      cache_.erase(it);
+    }
+  }
   obs::TraceContext tc;
   if (o != nullptr && o->tracer() != nullptr &&
       ops_ % std::max<std::uint32_t>(1, o->config().trace_sample_every) ==
@@ -107,10 +228,13 @@ OpHandle<ReadResult> ClientSession::read(FileId file,
   ReadResult result =
       cluster_.router().read(file, level, options_.origin, tc);
   const bool ok = result.ok();
-  ++stats_.reads;
-  if (result.escalated) ++stats_.escalated_reads;
-  stats_.staleness_versions_total += result.staleness_versions;
-  stats_.read_latency_total += result.latency;
+  ++stats_->reads;
+  if (result.escalated) ++stats_->escalated_reads;
+  stats_->staleness_versions_total += result.staleness_versions;
+  stats_->read_latency_total += result.latency;
+  if (options_.cache_reads && ok) {
+    cache_[file] = CachedRead{result, cluster_.sim().now()};
+  }
   if (o != nullptr && ok) {
     obs::Meter meter = o->cluster_meter();
     meter.add(session_metrics().reads);
@@ -135,6 +259,7 @@ bool ClientSession::open(FileId file) {
 }
 
 bool ClientSession::close(FileId file) {
+  cache_.erase(file);
   return cluster_.router().close(file);
 }
 

@@ -21,11 +21,14 @@
 /// blocking on the loop.
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "client/consistency.hpp"
 #include "client/op_handle.hpp"
 #include "util/ids.hpp"
+#include "util/time.hpp"
 
 namespace idea::shard {
 class ShardedCluster;
@@ -36,16 +39,36 @@ namespace idea::client {
 struct SessionOptions {
   /// Declared consistency for this session's reads (per-op overridable).
   ConsistencyLevel level = ConsistencyLevel::strong();
+  /// Declared durability for this session's writes (per-op overridable).
+  /// w = 1 keeps the pre-WriteConcern path byte-identical.
+  WriteConcern write_concern = {};
   /// Endpoint the client attaches at — the latency model measures
   /// replica distance from here.  kNoNode models a client co-located
   /// with whatever endpoint serves it.
   NodeId origin = kNoNode;
+  /// Serve repeat reads from the session's last snapshot of the file,
+  /// with zero router traffic, while the snapshot is *provably* inside
+  /// the declared bound.  Only a BoundedStaleness level with an age
+  /// bound qualifies: the age of a cached view grows exactly with the
+  /// sim clock (age_at_serve + elapsed), so the bound check needs no
+  /// cluster contact — a versions bound does not have that property.
+  /// The cache is invalidated by the session's own writes to the file,
+  /// by close(), and by bound expiry.
+  bool cache_reads = false;
 };
 
 /// Ack of one routed write.
 struct WriteAck {
   bool applied = false;  ///< false: resolution blocked the write.
   NodeId coordinator = kNoNode;
+  /// Confirmed replica applies (coordinator included; hinted stand-ins
+  /// not).  1 under the default WriteConcern.
+  std::uint32_t acks = 0;
+  /// Crashed group members covered by hinted stand-ins (sloppy quorum).
+  std::uint32_t hinted = 0;
+  /// Whether the declared WriteConcern was met (acks + hinted >= w).
+  /// Always equals `applied` under the default w = 1.
+  bool w_satisfied = false;
 };
 
 struct SessionStats {
@@ -57,6 +80,13 @@ struct SessionStats {
   /// for mean-staleness reporting.
   std::uint64_t staleness_versions_total = 0;
   SimDuration read_latency_total = 0;
+  // Write concerns (zero under the default w = 1).
+  std::uint64_t wack_puts = 0;         ///< Puts dispatched with w > 1.
+  std::uint64_t wack_failed_puts = 0;  ///< Concern not met (give-up).
+  std::uint64_t hinted_puts = 0;       ///< Puts that hinted a stand-in.
+  // Session read cache (zero unless cache_reads is on).
+  std::uint64_t cache_hits = 0;      ///< Reads served router-free.
+  std::uint64_t cache_expiries = 0;  ///< Snapshots aged past the bound.
 };
 
 class ClientSession {
@@ -67,10 +97,18 @@ class ClientSession {
   ClientSession(const ClientSession&) = delete;
   ClientSession& operator=(const ClientSession&) = delete;
 
-  /// Route a write to the file's coordinator (writes are always strong:
-  /// they ack once the coordinator applied and began replicating).
+  /// Route a write under the session's declared WriteConcern.  With the
+  /// default w = 1 the handle acks once the coordinator applied and
+  /// began replicating (one modeled round trip); with w > 1 the handle
+  /// is *pending* and resolves only when w replica applies are confirmed
+  /// (or the replication budget gives up — handle.ok() false, with
+  /// value().acks still reporting what was confirmed).
   OpHandle<WriteAck> put(FileId file, std::string content,
                          double meta_delta = 0.0);
+
+  /// Route a write under a per-operation override concern.
+  OpHandle<WriteAck> put(FileId file, std::string content, double meta_delta,
+                         const WriteConcern& concern);
 
   /// Route a read under the session's declared consistency level.
   OpHandle<ReadResult> read(FileId file);
@@ -89,13 +127,26 @@ class ClientSession {
   [[nodiscard]] double level(FileId file) const;
 
   [[nodiscard]] const SessionOptions& options() const { return options_; }
-  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  [[nodiscard]] const SessionStats& stats() const { return *stats_; }
   [[nodiscard]] shard::ShardedCluster& cluster() { return cluster_; }
 
  private:
+  /// One cached read snapshot: the result as served, plus when.  The
+  /// snapshot's provable staleness age at any later instant T is
+  /// staleness_age + (T - served_at) — every update the replica was
+  /// missing at serve time only gets older, and nothing newer is claimed.
+  struct CachedRead {
+    ReadResult snapshot;
+    SimTime served_at = 0;
+  };
+
   shard::ShardedCluster& cluster_;
   SessionOptions options_;
-  SessionStats stats_;
+  /// Shared so in-flight write-concern callbacks outlive a moved-from
+  /// session (sessions are movable; the callbacks capture the pointer).
+  std::shared_ptr<SessionStats> stats_;
+  /// Last served snapshot per file (only populated with cache_reads on).
+  std::unordered_map<FileId, CachedRead> cache_;
   /// Operations issued — the trace-sampling counter (every Nth op mints a
   /// trace when the cluster's observability has tracing on).
   std::uint64_t ops_ = 0;

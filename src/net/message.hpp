@@ -46,6 +46,12 @@ struct Message {
   /// and untraced runs are byte-identical.  0 = untraced.
   std::uint64_t trace = 0;
   std::uint32_t span = 0;
+  /// Delivery-confirmation request (shard layer): a replicate push sent
+  /// under a write concern asks its receiver to ack even when the group's
+  /// resend feature is off.  One flag bit in a real header; not counted
+  /// in wire_bytes.  False on every message of a deployment that never
+  /// declares WriteConcern{w > 1}, which keeps old replays byte-exact.
+  bool want_ack = false;
 };
 
 /// Per-type and total message/byte counters.

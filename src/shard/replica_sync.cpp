@@ -48,6 +48,10 @@ struct AgentMetrics {
       obs::MetricId::intern("replicate.resends");
   obs::MetricId replicate_gaveups =
       obs::MetricId::intern("replicate.resend_gaveups");
+  obs::MetricId gaveup_digests =
+      obs::MetricId::intern("ae.gaveup_digests");
+  obs::MetricId wack_satisfied = obs::MetricId::intern("wack.satisfied");
+  obs::MetricId wack_failed = obs::MetricId::intern("wack.failed");
 };
 
 const AgentMetrics& agent_metrics() {
@@ -72,14 +76,27 @@ ReplicaSyncAgent::~ReplicaSyncAgent() {
   stop_anti_entropy();
   for (auto& [key, pending] : pending_acks_) {
     transport_.cancel_call(pending.timer);
+    // A write concern that never completed must not leave its client
+    // handle pending forever: the group is tearing down (crash, epoch
+    // rebuild, shutdown), so the honest answer is "ack target not met".
+    finish_concern(pending, /*satisfied=*/false);
   }
   node_.dispatcher().unroute("shard.");
 }
 
 bool ReplicaSyncAgent::put(std::string content, double meta_delta,
                            const obs::TraceContext& tc) {
+  return put_with_concern(std::move(content), meta_delta, PutConcern{}, tc);
+}
+
+bool ReplicaSyncAgent::put_with_concern(std::string content,
+                                        double meta_delta, PutConcern concern,
+                                        const obs::TraceContext& tc,
+                                        const replica::Update** applied_out) {
+  if (applied_out != nullptr) *applied_out = nullptr;
   if (!node_.write(std::move(content), meta_delta)) {
     ++stats_.blocked_puts;
+    if (concern.on_result) concern.on_result(false, 0);
     return false;
   }
   ++stats_.puts;
@@ -87,9 +104,18 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta,
   const replica::ReplicaStore& store = node_.store();
   const replica::Update* u =
       store.find(replica::UpdateKey{node_.id(), store.local_seq()});
-  if (u == nullptr) return true;  // defensive; apply_local just stored it
+  if (u == nullptr) {  // defensive; apply_local just stored it
+    if (concern.on_result) concern.on_result(concern.peer_acks_needed == 0, 1);
+    return true;
+  }
+  if (applied_out != nullptr) *applied_out = u;
 
   // One shared allocation for the whole fan-out; each send refcounts it.
+  // A write-concern put asks for acks even when the group's resend
+  // feature is off — the flag is metadata, so flows that never declare a
+  // concern stay byte-identical.
+  const bool want_ack =
+      options_.resend_timeout > 0 || concern.peer_acks_needed > 0;
   const net::Payload payload = std::vector<replica::Update>{*u};
   const auto bytes = static_cast<std::uint32_t>(16 + u->wire_bytes());
   std::uint64_t pushed = 0;
@@ -102,29 +128,86 @@ bool ReplicaSyncAgent::put(std::string content, double meta_delta,
     msg.type = kReplicateType;
     msg.payload = payload;
     msg.wire_bytes = bytes;
+    msg.want_ack = want_ack;
     stamp_wire_span(msg, tc, "msg.shard.replicate");
     transport_.send(std::move(msg));
     ++stats_.pushed;
     ++pushed;
   }
   if (pushed > 0) meter_.add(agent_metrics().replicate_pushed, pushed);
-  if (pushed > 0 && options_.resend_timeout > 0) track_pending(*u);
+
+  if (concern.on_result && concern.peer_acks_needed == 0) {
+    // w = 1 under the concern API: the local apply is the whole target.
+    ++stats_.wack_satisfied;
+    meter_.add(agent_metrics().wack_satisfied);
+    concern.on_result(true, 1);
+    concern.on_result = nullptr;
+  }
+  if (pushed > 0 && (options_.resend_timeout > 0 || concern.on_result)) {
+    // track_pending fails the concern itself when tracking is impossible
+    // (group too large for the rank bitmask).
+    if (track_pending(*u, concern.peer_acks_needed,
+                      std::move(concern.on_result)) &&
+        concern.peer_acks_needed > 0) {
+      ++stats_.wack_tracked;
+    }
+  } else if (concern.on_result) {
+    // Nothing pushed (single-member group) but peer acks were required:
+    // the target is unreachable by construction.
+    ++stats_.wack_failed;
+    meter_.add(agent_metrics().wack_failed);
+    concern.on_result(false, 1);
+  }
   return true;
 }
 
-void ReplicaSyncAgent::track_pending(const replica::Update& u) {
-  if (group_size_ > 64) return;  // unacked is a rank bitmask
+SimDuration ReplicaSyncAgent::effective_resend_timeout() const {
+  // Write-concern puts need the ack/re-send machinery even when the
+  // deployment left it off; half a second spans several cross-continent
+  // round trips under the latency model without dragging out give-ups.
+  return options_.resend_timeout > 0 ? options_.resend_timeout : msec(500);
+}
+
+void ReplicaSyncAgent::finish_concern(PendingReplication& pending,
+                                      bool satisfied) {
+  if (!pending.on_result) return;
+  if (satisfied) {
+    ++stats_.wack_satisfied;
+    meter_.add(agent_metrics().wack_satisfied);
+  } else {
+    ++stats_.wack_failed;
+    meter_.add(agent_metrics().wack_failed);
+  }
+  WriteConcernCallback cb = std::move(pending.on_result);
+  pending.on_result = nullptr;
+  cb(satisfied, 1 + pending.acks_got);
+}
+
+bool ReplicaSyncAgent::track_pending(const replica::Update& u,
+                                     std::uint32_t acks_needed,
+                                     WriteConcernCallback on_result) {
+  if (group_size_ > 64) {  // unacked is a rank bitmask
+    if (on_result) {
+      ++stats_.wack_failed;
+      meter_.add(agent_metrics().wack_failed);
+      on_result(false, 1);
+    }
+    return false;
+  }
   PendingReplication pending;
   pending.update = u;
   for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
     if (rank != node_.id()) pending.unacked |= 1ull << rank;
   }
   pending.resends_left = options_.max_resends;
+  pending.acks_needed = acks_needed;
+  pending.on_result = std::move(on_result);
   auto [it, inserted] = pending_acks_.emplace(u.key, std::move(pending));
-  if (!inserted) return;  // defensive; keys are unique per put
+  if (!inserted) return false;  // defensive; keys are unique per put
   it->second.timer = transport_.call_after(
-      options_.resend_timeout,
+      effective_resend_timeout(),
       [this, key = u.key] { on_resend_timeout(key); });
+  return true;
 }
 
 void ReplicaSyncAgent::on_resend_timeout(replica::UpdateKey key) {
@@ -132,11 +215,22 @@ void ReplicaSyncAgent::on_resend_timeout(replica::UpdateKey key) {
   if (it == pending_acks_.end()) return;
   PendingReplication& pending = it->second;
   if (pending.resends_left == 0) {
-    // Budget exhausted: stop tracking.  If the peer is gone for good,
-    // recovery + anti-entropy own the rest; if it merely lost the acks,
-    // it already holds the update.
+    // Budget exhausted: stop tracking — but never silently.  With
+    // anti-entropy off (the default) an abandoned update would diverge
+    // the group forever, so the give-up immediately digests the silent
+    // ranks: if a peer merely lost the acks this is one cheap no-delta
+    // exchange, and if it lost the update the repair re-delivers it.  A
+    // pending write concern fails here (its targeted heal is already on
+    // the wire, so failure means "unacked", not "lost").
     ++stats_.resend_gaveups;
     meter_.add(agent_metrics().replicate_gaveups);
+    for (std::uint32_t rank = 0; rank < group_size_; ++rank) {
+      if ((pending.unacked & (1ull << rank)) == 0) continue;
+      anti_entropy_with(rank);
+      ++stats_.gaveup_ae_digests;
+      meter_.add(agent_metrics().gaveup_digests);
+    }
+    finish_concern(pending, /*satisfied=*/false);
     pending_acks_.erase(it);
     return;
   }
@@ -154,13 +248,14 @@ void ReplicaSyncAgent::on_resend_timeout(replica::UpdateKey key) {
     msg.type = kReplicateType;
     msg.payload = payload;
     msg.wire_bytes = bytes;
+    msg.want_ack = true;  // a tracked push always wants its ack back
     transport_.send(std::move(msg));
     ++stats_.resends;
     ++resent;
   }
   if (resent > 0) meter_.add(agent_metrics().replicate_resends, resent);
   pending.timer = transport_.call_after(
-      options_.resend_timeout, [this, key] { on_resend_timeout(key); });
+      effective_resend_timeout(), [this, key] { on_resend_timeout(key); });
 }
 
 void ReplicaSyncAgent::start_anti_entropy(SimDuration period) {
@@ -185,9 +280,15 @@ void ReplicaSyncAgent::anti_entropy_round() {
   // Deterministic rotation: consecutive rounds visit every other rank
   // before repeating, so a pairwise exchange happens within k-1 periods.
   const std::uint32_t offset = 1 + (ae_rotation_++ % (group_size_ - 1));
-  const auto peer =
-      static_cast<NodeId>((node_.id() + offset) % group_size_);
+  send_digest(static_cast<NodeId>((node_.id() + offset) % group_size_));
+}
 
+void ReplicaSyncAgent::anti_entropy_with(NodeId peer_rank) {
+  if (peer_rank == node_.id() || peer_rank >= group_size_) return;
+  send_digest(peer_rank);
+}
+
+void ReplicaSyncAgent::send_digest(NodeId peer) {
   net::Message msg;
   msg.from = node_.id();
   msg.to = peer;
@@ -308,8 +409,10 @@ void ReplicaSyncAgent::on_message(const net::Message& msg) {
     }
     // Ack every replicate (even redundant ones — the sender wants
     // delivery confirmation, and re-sends of an update we already hold
-    // must still clear its pending slot over there).
-    if (options_.resend_timeout > 0 && !batch.empty()) {
+    // must still clear its pending slot over there).  Besides the
+    // group-wide resend feature, individual pushes ask via want_ack
+    // (write-concern puts in deployments that left the feature off).
+    if ((options_.resend_timeout > 0 || msg.want_ack) && !batch.empty()) {
       net::Message ack;
       ack.from = node_.id();
       ack.to = msg.from;
@@ -326,9 +429,19 @@ void ReplicaSyncAgent::on_message(const net::Message& msg) {
     ++stats_.acks_received;
     auto it = pending_acks_.find(msg.payload.as<replica::UpdateKey>());
     if (it == pending_acks_.end()) return;  // already resolved/abandoned
-    it->second.unacked &= ~(1ull << msg.from);
-    if (it->second.unacked == 0) {
-      transport_.cancel_call(it->second.timer);
+    PendingReplication& pending = it->second;
+    const std::uint64_t bit = 1ull << msg.from;
+    if ((pending.unacked & bit) != 0) {
+      // First ack from this rank (duplicates from re-sends don't
+      // double-count toward a write concern).
+      pending.unacked &= ~bit;
+      ++pending.acks_got;
+      if (pending.on_result && pending.acks_got >= pending.acks_needed) {
+        finish_concern(pending, /*satisfied=*/true);
+      }
+    }
+    if (pending.unacked == 0) {
+      transport_.cancel_call(pending.timer);
       pending_acks_.erase(it);
     }
     return;

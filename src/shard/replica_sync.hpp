@@ -35,7 +35,15 @@
 ///    crash-model plumbing — a coordinator whose replica died mid-
 ///    replication retries for a while and then gives up cleanly instead
 ///    of wedging, and a briefly-unreachable replica still converges
-///    without waiting for anti-entropy.
+///    without waiting for anti-entropy.  A give-up is never silent: the
+///    abandoned update's silent ranks get an immediate targeted digest,
+///    so the group converges even with periodic anti-entropy off.
+///
+///  * Write concerns (put_with_concern): a client-declared WriteConcern{w}
+///    rides the same ack machinery — the put completes its callback once
+///    w - 1 peers confirmed their apply (pushes carry a want_ack flag so
+///    acks flow even when the group's resend feature is off), or fails it
+///    when the re-send budget runs out first.
 
 #include <functional>
 #include <map>
@@ -70,6 +78,13 @@ struct ReplicaSyncStats {
   std::uint64_t acks_received = 0;
   std::uint64_t resends = 0;          ///< Re-sent replicate messages.
   std::uint64_t resend_gaveups = 0;   ///< Updates abandoned after budget.
+  /// Targeted digests sent at give-up time so an abandoned update cannot
+  /// silently diverge the group (see on_resend_timeout).
+  std::uint64_t gaveup_ae_digests = 0;
+  // Write-concern puts (all zero until a client declares w > 1).
+  std::uint64_t wack_tracked = 0;    ///< Puts awaiting a peer-ack target.
+  std::uint64_t wack_satisfied = 0;  ///< Ack target reached.
+  std::uint64_t wack_failed = 0;     ///< Abandoned before the target.
 };
 
 /// Opt-in replication ack/re-send behavior.  The zero default keeps every
@@ -83,6 +98,22 @@ struct ReplicaSyncOptions {
   /// anti-entropy owns healing a peer that stays dark, and a peer that
   /// crashed for good must not pin sender state forever).
   std::uint32_t max_resends = 2;
+};
+
+/// Outcome callback of one write-concern put: fired exactly once, either
+/// when the ack target is reached (`satisfied`) or when the re-send budget
+/// runs out / the agent tears down first.  `acks` counts confirmed group
+/// applies including the coordinator's own; hinted stand-ins are credited
+/// by the routing layer, not here.
+using WriteConcernCallback =
+    std::function<void(bool satisfied, std::uint32_t acks)>;
+
+/// Ack requirement of one put (see ReplicaSyncAgent::put_with_concern).
+struct PutConcern {
+  /// Peer applies required beyond the coordinator's local one.  0 with an
+  /// on_result set means w = 1: the callback fires synchronously.
+  std::uint32_t peer_acks_needed = 0;
+  WriteConcernCallback on_result;
 };
 
 /// Body of a "shard.repair" message: the updates the digest sender was
@@ -125,6 +156,20 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   bool put(std::string content, double meta_delta,
            const obs::TraceContext& tc = {});
 
+  /// put() plus a write-concern: the push fan-out asks receivers for
+  /// delivery acks (even when the group's resend feature is off — the
+  /// messages carry a want_ack flag), the put is tracked against the
+  /// group's resend budget, and `concern.on_result` fires exactly once —
+  /// satisfied when `peer_acks_needed` distinct ranks confirmed their
+  /// apply, failed when the budget runs out first (at which point the
+  /// give-up path has already scheduled targeted anti-entropy, so the
+  /// data still converges even though the ack did not).  With an empty
+  /// concern this is byte-identical to put().  `applied_out`, when
+  /// non-null, receives the locally applied update (for hint queueing).
+  bool put_with_concern(std::string content, double meta_delta,
+                        PutConcern concern, const obs::TraceContext& tc = {},
+                        const replica::Update** applied_out = nullptr);
+
   /// Arm the periodic anti-entropy exchange (idempotent re-arm; 0 stops).
   /// Rounds rotate deterministically over the other ranks, so every pair
   /// digests each other within group_size - 1 periods.
@@ -134,6 +179,13 @@ class ReplicaSyncAgent final : public net::MessageHandler {
   /// Run one anti-entropy round right now (what the timer fires; exposed
   /// so tests and benches can count rounds-to-convergence exactly).
   void anti_entropy_round();
+
+  /// One targeted digest exchange with `peer_rank`, outside the periodic
+  /// rotation (it does not advance the round-robin cursor).  Used by the
+  /// give-up path and by the cluster to heal a specific returning member
+  /// (hinted-handoff drain) without waiting for the rotation to come
+  /// around.  No-op on self/out-of-range ranks.
+  void anti_entropy_with(NodeId peer_rank);
 
   /// Observer for peer version counts learned from the digest/repair
   /// exchange: called as (peer_rank, peer_total_versions) whenever a
@@ -203,11 +255,28 @@ class ReplicaSyncAgent final : public net::MessageHandler {
     std::uint64_t unacked = 0;    ///< Bitmask of silent ranks.
     std::uint32_t resends_left = 0;
     std::uint64_t timer = 0;
+    // Write-concern bookkeeping (inert for plain tracked puts).
+    std::uint32_t acks_needed = 0;  ///< Peer acks the concern requires.
+    std::uint32_t acks_got = 0;     ///< Distinct ranks confirmed so far.
+    WriteConcernCallback on_result;  ///< Unfired iff non-null.
   };
 
-  /// Start tracking a just-pushed update (resend_timeout > 0 only).
-  void track_pending(const replica::Update& u);
+  /// Build and send one digest message to `peer` (the shared anti-entropy
+  /// body of the periodic round and the targeted exchange).
+  void send_digest(NodeId peer);
+
+  /// The ack timeout tracked puts run under: the configured resend
+  /// timeout, or a fixed default when a write concern needs tracking
+  /// while the group's resend feature is off.
+  [[nodiscard]] SimDuration effective_resend_timeout() const;
+
+  /// Start tracking a just-pushed update; returns false when the group is
+  /// too large for the rank bitmask (the caller fails the concern).
+  bool track_pending(const replica::Update& u, std::uint32_t acks_needed,
+                     WriteConcernCallback on_result);
   void on_resend_timeout(replica::UpdateKey key);
+  /// Fire-and-clear a pending put's concern callback (exactly-once).
+  void finish_concern(PendingReplication& pending, bool satisfied);
 
   core::IdeaNode& node_;
   net::Transport& transport_;

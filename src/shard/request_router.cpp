@@ -24,6 +24,11 @@ struct RouterMetrics {
   obs::MetricId read_served = obs::MetricId::intern("read.served");
   obs::MetricId write_failover =
       obs::MetricId::intern("router.write.failover");
+  obs::MetricId write_wack = obs::MetricId::intern("router.write.wack");
+  obs::MetricId write_sloppy =
+      obs::MetricId::intern("router.write.sloppy");
+  obs::MetricId hint_expired =
+      obs::MetricId::intern("router.hint.expired");
 };
 
 const RouterMetrics& router_metrics() {
@@ -70,6 +75,93 @@ bool RequestRouter::write(FileId file, std::string content,
   return true;
 }
 
+RequestRouter::WriteDispatch RequestRouter::write_with_concern(
+    FileId file, std::string content, double meta_delta,
+    const client::WriteConcern& concern, WriteAckCallback on_result,
+    const obs::TraceContext& tc) {
+  WriteDispatch d;
+  // Unroutable (empty ring / every member down): not a blocked write,
+  // mirroring write() — but the callback still gets its exactly-once fire.
+  const auto fail = [&] {
+    if (on_result) on_result(false, 0, 0, d.coordinator);
+    return d;
+  };
+  if (open(file) == nullptr) return fail();
+  const auto [agent, endpoint] = cluster_.coordinator(file);
+  if (agent == nullptr) return fail();
+  const std::vector<NodeId>* members = cluster_.members_of(file);
+  if (members == nullptr || members->empty()) return fail();
+
+  d.coordinator = endpoint;
+  const auto k = static_cast<std::uint32_t>(members->size());
+  const std::uint32_t w = concern.resolve(k);
+  d.effective_w = w;
+  ++stats_.coordinator_ops[endpoint];
+  const bool failover = endpoint != cluster_.coordinator_endpoint(file);
+  if (failover) ++stats_.failover_writes;
+
+  // Sloppy quorum: when fewer than w members are alive, each crashed
+  // member the concern still needs is covered by a durable hint at a
+  // live stand-in outside the group, credited toward w and drained back
+  // through anti-entropy when the member returns.
+  std::vector<std::pair<NodeId, NodeId>> hint_plan;  // target -> stand-in
+  if (w > 1) {
+    std::uint32_t alive = 0;
+    for (NodeId m : *members) {
+      if (cluster_.has_endpoint(m)) ++alive;
+    }
+    for (NodeId m : *members) {
+      if (alive + hint_plan.size() >= w) break;
+      if (cluster_.has_endpoint(m)) continue;
+      const NodeId stand_in = cluster_.stand_in_for(file, m);
+      if (stand_in != kNoNode) hint_plan.emplace_back(m, stand_in);
+    }
+  }
+  const auto hinted = static_cast<std::uint32_t>(hint_plan.size());
+  d.hinted = hinted;
+
+  PutConcern agent_concern;
+  agent_concern.peer_acks_needed = w - 1 > hinted ? w - 1 - hinted : 0;
+  if (on_result) {
+    // The wrapper credits the hinted stand-ins and names the acting
+    // coordinator; acks == 0 still means "never applied".
+    agent_concern.on_result = [cb = std::move(on_result), hinted,
+                               coordinator = endpoint](
+                                  bool satisfied, std::uint32_t acks) {
+      cb(satisfied, acks, hinted, coordinator);
+    };
+  }
+
+  const replica::Update* applied = nullptr;
+  if (!agent->put_with_concern(std::move(content), meta_delta,
+                               std::move(agent_concern), tc, &applied)) {
+    // The agent already failed the callback.
+    ++stats_.blocked_writes;
+    return d;
+  }
+  ++stats_.writes;
+  d.applied = true;
+  if (w > 1) ++stats_.wack_writes;
+
+  // Park the hints only after the local apply produced the real update.
+  if (applied != nullptr && !hint_plan.empty()) {
+    for (const auto& [target, stand_in] : hint_plan) {
+      cluster_.queue_hint(file, target, stand_in, *applied);
+      ++stats_.hinted_writes;
+    }
+    ++stats_.sloppy_writes;
+  }
+
+  if (obs::Observability* o = observability()) {
+    obs::Meter meter = o->cluster_meter();
+    meter.add(router_metrics().writes);
+    if (failover) meter.add(router_metrics().write_failover);
+    if (w > 1) meter.add(router_metrics().write_wack);
+    if (hinted > 0) meter.add(router_metrics().write_sloppy);
+  }
+  return d;
+}
+
 obs::Observability* RequestRouter::observability() const {
   return cluster_.obs();
 }
@@ -95,12 +187,30 @@ SimDuration RequestRouter::rtt(NodeId origin, NodeId endpoint) const {
   return 2 * cluster_.latency().mean(origin, endpoint);
 }
 
+bool RequestRouter::hint_live(const Freshness& f) const {
+  const SimDuration ttl = cluster_.config().freshness_hint_ttl;
+  if (ttl <= 0) return true;  // decay disabled
+  const SimTime now = cluster_.sim().now();
+  return now <= f.at + ttl;
+}
+
 void RequestRouter::note_freshness(FileId file, NodeId endpoint,
                                    std::uint64_t versions, SimTime at) {
   Freshness& f = hints_[file][endpoint];
   // Hints may arrive out of order (digest vs repair of the same round);
-  // versions are monotone per replica, so keep the maximum.
-  if (versions >= f.versions) f = Freshness{versions, at};
+  // versions are monotone per replica, so keep the maximum — but only
+  // while the held hint is live.  A decayed hint yields to whatever the
+  // next observation says, even a smaller count: the replica may have
+  // restarted into a new incarnation whose history starts over.
+  if (f.versions > 0 && !hint_live(f)) {
+    ++stats_.expired_hints;
+    if (obs::Observability* o = observability()) {
+      o->cluster_meter().add(router_metrics().hint_expired);
+    }
+    f = Freshness{versions, at};
+  } else if (versions >= f.versions) {
+    f = Freshness{versions, at};
+  }
   ++stats_.freshness_hints;
 }
 
@@ -115,7 +225,11 @@ const RequestRouter::Freshness* RequestRouter::find_hint(
   auto fit = hints_.find(file);
   if (fit == hints_.end()) return nullptr;
   auto eit = fit->second.find(endpoint);
-  return eit == fit->second.end() ? nullptr : &eit->second;
+  if (eit == fit->second.end()) return nullptr;
+  // A hint past the decay horizon no longer describes the replica:
+  // treat it as absent (selection falls back to the optimistic lag-0
+  // default, and the serve-time bound check stays the safety net).
+  return hint_live(eit->second) ? &eit->second : nullptr;
 }
 
 void RequestRouter::note_migration(FileId file, SimTime window_end) {
@@ -130,6 +244,12 @@ bool RequestRouter::in_migration_window(FileId file) const {
 void RequestRouter::forget_file(FileId file) {
   hints_.erase(file);
   migration_until_.erase(file);
+}
+
+void RequestRouter::forget_endpoint(NodeId endpoint) {
+  for (auto& [file, by_endpoint] : hints_) {
+    if (by_endpoint.erase(endpoint) > 0) ++stats_.expired_hints;
+  }
 }
 
 NodeId RequestRouter::pick_replica(FileId file,

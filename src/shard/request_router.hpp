@@ -31,9 +31,13 @@
 /// Writes still go to the file's coordinator (rank 0), whose
 /// ReplicaSyncAgent pushes the update to the rest of the group; that path
 /// is byte-identical to the old ShardRouter's, which is what keeps the
-/// fixed-seed determinism goldens valid.
+/// fixed-seed determinism goldens valid.  A write carrying a client
+/// WriteConcern{w > 1} additionally waits for w - 1 peer acks before its
+/// callback fires, and routes around crashed members with sloppy-quorum
+/// hinted handoff (see write_with_concern).
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +73,12 @@ struct RouterStats {
   std::uint64_t quorum_reads = 0;
   std::uint64_t migration_window_reads = 0;  ///< Pinned to warm coordinator.
   std::uint64_t freshness_hints = 0;  ///< Hint-table updates ingested.
+  /// Decayed hint entries overwritten or purged (see note_freshness).
+  std::uint64_t expired_hints = 0;
+  // Write concerns (zero until a client declares w > 1).
+  std::uint64_t wack_writes = 0;    ///< Writes dispatched with w > 1.
+  std::uint64_t sloppy_writes = 0;  ///< Writes where a hint counted to w.
+  std::uint64_t hinted_writes = 0;  ///< Hints queued at stand-ins.
   /// Ops handled per coordinator endpoint (load-balance probe).
   std::map<NodeId, std::uint64_t> coordinator_ops;
   /// Reads served per endpoint (shows policy reads spreading off the
@@ -114,6 +124,38 @@ class RequestRouter {
   bool write(FileId file, std::string content, double meta_delta,
              const obs::TraceContext& tc = {});
 
+  /// What one write-concern dispatch decided (issue-time view; the ack
+  /// outcome arrives through the callback).
+  struct WriteDispatch {
+    bool applied = false;        ///< Coordinator applied the write.
+    NodeId coordinator = kNoNode;
+    std::uint32_t effective_w = 1;  ///< Concern resolved against the group.
+    std::uint32_t hinted = 0;    ///< Crashed members hinted to stand-ins.
+  };
+
+  /// Completion of a write-concern write: `acks` is the coordinator-side
+  /// count of confirmed group applies (local one included, hinted
+  /// stand-ins NOT — add `hinted`); 0 means the write never applied.
+  /// `coordinator` is the acting coordinator that ran the put.
+  using WriteAckCallback = std::function<void(
+      bool satisfied, std::uint32_t acks, std::uint32_t hinted,
+      NodeId coordinator)>;
+
+  /// Route a write under a client-declared WriteConcern.  Resolves w
+  /// against the file's group, and when fewer than w members are alive
+  /// performs a sloppy-quorum write: each crashed member the concern
+  /// needs is covered by a hint durably queued at a live stand-in
+  /// endpoint (counting toward w), to be drained back through
+  /// anti-entropy when the member restarts.  `on_result` fires exactly
+  /// once — possibly synchronously (w already covered at dispatch, or
+  /// the write was blocked/unroutable).  With w resolving to 1 and no
+  /// callback this is behavior-identical to write().
+  WriteDispatch write_with_concern(FileId file, std::string content,
+                                   double meta_delta,
+                                   const client::WriteConcern& concern,
+                                   WriteAckCallback on_result,
+                                   const obs::TraceContext& tc = {});
+
   /// Route a read under `level` from a client attached at `origin`.
   /// Returns an empty result (ok() == false) on an empty ring.  A traced
   /// read (`tc` active) records serve/escalate/fan-out decision spans,
@@ -132,11 +174,16 @@ class RequestRouter {
   /// Ingest a freshness hint: `endpoint`'s replica of `file` was observed
   /// holding `versions` total updates at `at` (piggybacked on the
   /// anti-entropy digest/repair exchange).  Guides bounded-staleness
-  /// replica selection; the serve-time bound check stays exact.
+  /// replica selection; the serve-time bound check stays exact.  Hints
+  /// age out on the sim clock (config.freshness_hint_ttl): a decayed
+  /// entry stops informing selection and is overwritten by the next
+  /// observation even if that one shows fewer versions — version counts
+  /// are only monotone within a replica incarnation.
   void note_freshness(FileId file, NodeId endpoint, std::uint64_t versions,
                       SimTime at);
 
-  /// Last hinted version count for (file, endpoint); 0 if never hinted.
+  /// Last hinted version count for (file, endpoint); 0 if never hinted
+  /// or if the hint has aged past the decay horizon.
   [[nodiscard]] std::uint64_t freshness_hint(FileId file,
                                              NodeId endpoint) const;
 
@@ -149,6 +196,12 @@ class RequestRouter {
 
   /// Drop per-file routing state (hints, migration window) on teardown.
   void forget_file(FileId file);
+
+  /// Drop every hint recorded about `endpoint` across all files.  Called
+  /// when the endpoint crashes: hints describe a replica incarnation
+  /// whose volatile state just died, so consulting them after a restart
+  /// would prefer a replica that holds none of the hinted versions.
+  void forget_endpoint(NodeId endpoint);
 
   /// Round-trip estimate between a client origin and an endpoint under
   /// the cluster's latency model (mean, not sampled — routing must not
@@ -166,6 +219,11 @@ class RequestRouter {
     SimTime at = 0;
   };
 
+  /// Whether the hint is still inside the decay horizon (always true
+  /// when decay is disabled via freshness_hint_ttl = 0).
+  [[nodiscard]] bool hint_live(const Freshness& f) const;
+
+  /// The live hint for (file, endpoint); nullptr when absent or decayed.
   [[nodiscard]] const Freshness* find_hint(FileId file,
                                            NodeId endpoint) const;
 

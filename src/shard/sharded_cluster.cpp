@@ -262,6 +262,9 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     //    then streams it to the other ranks over the wire.
     FileGroup& group = open_group(file, std::move(members));
     if (router_ != nullptr) router_->forget_file(file);
+    // Parked hints carry rank-space update keys minted under the old
+    // membership; the new rank mapping makes them meaningless.
+    hints_.drop_file(file);
     // The adopting rank is the lowest alive one: rank 0 unless that
     // member is crashed, in which case the next alive rank takes the
     // snapshot (rank space is multi-writer, so this is safe).
@@ -310,6 +313,44 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
   }
 }
 
+NodeId ShardedCluster::stand_in_for(FileId file, NodeId target) const {
+  const std::vector<NodeId>* members = members_of(file);
+  const std::vector<NodeId> group =
+      members != nullptr ? *members : group_of(file);
+  // Walk the ring successors past the replica group: ask for enough
+  // candidates to skip every member plus every currently-down endpoint.
+  const auto want = static_cast<std::uint32_t>(
+      group.size() + crashed_.size() + 1);
+  std::vector<NodeId> candidates;
+  for (NodeId candidate : ring_.replicas(file, want)) {
+    if (!has_endpoint(candidate)) continue;
+    if (std::find(group.begin(), group.end(), candidate) != group.end()) {
+      continue;
+    }
+    candidates.push_back(candidate);
+  }
+  if (candidates.empty()) return kNoNode;
+  // Spread distinct crashed members over distinct stand-ins (when there
+  // are enough): the target's group rank indexes the successor list, so
+  // one sloppy write with two dark members parks its two hints at two
+  // different endpoints, like Dynamo's per-node hinted replicas.
+  const auto rank = static_cast<std::size_t>(
+      std::find(group.begin(), group.end(), target) - group.begin());
+  return candidates[rank % candidates.size()];
+}
+
+void ShardedCluster::queue_hint(FileId file, NodeId target, NodeId stand_in,
+                                const replica::Update& update) {
+  hints_.enqueue(replica::HintedWrite{stand_in, target, file, update,
+                                      sim_.now()});
+  if (obs_ != nullptr) {
+    obs::Meter meter = obs_->cluster_meter();
+    meter.add(obs::MetricId::intern("hints.queued"));
+    meter.set_gauge(obs::MetricId::intern("hints.queue_depth"),
+                    static_cast<std::int64_t>(hints_.depth()));
+  }
+}
+
 bool ShardedCluster::close_file(FileId file) {
   auto it = files_.find(file);
   if (it == files_.end()) return false;
@@ -321,6 +362,7 @@ bool ShardedCluster::close_file(FileId file) {
   }
   files_.erase(it);
   if (router_ != nullptr) router_->forget_file(file);
+  hints_.drop_file(file);
   return true;
 }
 
@@ -468,9 +510,17 @@ CrashReport ShardedCluster::crash_endpoint(NodeId endpoint) {
       }
       group.sync[rank].reset();
       group.transports[rank]->set_sink(nullptr);
+      // A trace parked on this file waiting for a heal may have been
+      // watching the replica that just died; the restart rebuilds the
+      // group under a new epoch, so the old causal thread is moot.
+      if (obs_ != nullptr) obs_->clear_repair_trace(file);
     }
   }
   services_[endpoint].reset();
+  // The endpoint's freshness hints describe volatile state that no
+  // longer exists; a restarted incarnation must not be preferred on its
+  // pre-crash reputation.
+  if (router_ != nullptr) router_->forget_endpoint(endpoint);
   crashed_.insert(endpoint);
   crashed_at_[endpoint] = sim_.now();
   if (obs_ != nullptr) {
@@ -595,6 +645,46 @@ RecoveryReport ShardedCluster::restart_endpoint(NodeId endpoint) {
       report.gap_updates += survivor_max_updates - restored;
     }
     ++report.files_recovered;
+  }
+
+  // Hinted-handoff drain: updates parked at stand-ins while this
+  // endpoint was down come home.  Each file's batch is imported into the
+  // acting coordinator's store exactly once (ImportReport counts the
+  // duplicates — typically all of them when the coordinator itself wrote
+  // the updates), then a targeted digest pushes the delta to the
+  // restarted rank over the ordinary shard.digest/repair wire path.
+  std::vector<replica::HintedWrite> drained = hints_.drain_for(endpoint);
+  if (!drained.empty()) {
+    std::map<FileId, std::vector<replica::Update>> by_file;
+    for (replica::HintedWrite& h : drained) {
+      by_file[h.file].push_back(std::move(h.update));
+    }
+    for (auto& [file, batch] : by_file) {
+      if (files_.find(file) == files_.end()) continue;  // closed meanwhile
+      const auto [agent, coord_ep] = coordinator(file);
+      if (agent == nullptr) continue;
+      core::IdeaNode* node = services_[coord_ep]->find(file);
+      if (node == nullptr) continue;
+      const replica::ReplicaStore::ImportReport r =
+          node->store().import_log(batch);
+      report.hinted_updates += batch.size();
+      report.hinted_duplicates += r.duplicates;
+      if (coord_ep != endpoint) {
+        const std::vector<NodeId>& members = files_.find(file)->second.members;
+        const auto self_rank = static_cast<NodeId>(
+            std::find(members.begin(), members.end(), endpoint) -
+            members.begin());
+        agent->anti_entropy_with(self_rank);
+      }
+    }
+    if (obs_ != nullptr) {
+      obs::Meter meter = obs_->cluster_meter();
+      meter.add(obs::MetricId::intern("hints.drained"), drained.size());
+      meter.add(obs::MetricId::intern("hints.drain_duplicates"),
+                report.hinted_duplicates);
+      meter.set_gauge(obs::MetricId::intern("hints.queue_depth"),
+                      static_cast<std::int64_t>(hints_.depth()));
+    }
   }
 
   if (obs_ != nullptr) {

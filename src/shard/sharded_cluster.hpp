@@ -36,6 +36,7 @@
 #include "net/sim_transport.hpp"
 #include "obs/observability.hpp"
 #include "replica/checkpoint.hpp"
+#include "replica/hint_store.hpp"
 #include "shard/group_transport.hpp"
 #include "shard/hash_ring.hpp"
 #include "shard/replica_sync.hpp"
@@ -72,6 +73,14 @@ struct ShardedClusterConfig {
   /// the ack machinery off and pre-existing replays byte-identical.
   SimDuration replication_resend_timeout = 0;
   std::uint32_t replication_max_resends = 2;
+  /// Decay horizon for the router's freshness hints: a hint older than
+  /// this stops informing bounded-staleness replica selection (the serve
+  /// path's exact bound check was always the safety net — this keeps a
+  /// replica hinted fresh once from attracting reads after it diverges).
+  /// 0 disables decay (pre-fix behavior, for A/B in tests).  Routing
+  /// consults hints without sending messages or drawing RNG, so the
+  /// default does not perturb write/AE-only replays.
+  SimDuration freshness_hint_ttl = sec(10);
 
   ShardedClusterConfig() { sync_sizes(); }
 
@@ -125,6 +134,12 @@ struct RecoveryReport {
   /// Checkpoint→crash delta left for anti-entropy to stream — the O(delta)
   /// recovery traffic (vs O(log) when no checkpoint exists).
   std::size_t gap_updates = 0;
+  /// Hinted-handoff drain: updates parked at stand-ins while this
+  /// endpoint was down, handed to the acting coordinator on restart...
+  std::size_t hinted_updates = 0;
+  /// ...of which this many were already held there (exactly-once: a
+  /// duplicate import is counted, never re-applied).
+  std::size_t hinted_duplicates = 0;
 };
 
 class ShardedCluster {
@@ -186,6 +201,26 @@ class ShardedCluster {
   /// Whether `endpoint` is crashed (down, awaiting restart_endpoint()).
   [[nodiscard]] bool is_crashed(NodeId endpoint) const {
     return crashed_.count(endpoint) > 0;
+  }
+
+  // ------------------------------------------------------------------
+  // Hinted handoff (sloppy-quorum writes; see replica/hint_store.hpp)
+  // ------------------------------------------------------------------
+
+  /// The stand-in endpoint a sloppy-quorum write would park a hint for
+  /// `target` at: the first live endpoint in the file's ring successor
+  /// walk that is not a group member (Dynamo's "next-N healthy nodes").
+  /// kNoNode when every candidate is down or in the group.
+  [[nodiscard]] NodeId stand_in_for(FileId file, NodeId target) const;
+
+  /// Durably park `update` for the crashed `target` at `stand_in`.  The
+  /// hint counts toward the write's w and drains on restart_endpoint().
+  void queue_hint(FileId file, NodeId target, NodeId stand_in,
+                  const replica::Update& update);
+
+  /// The hinted-handoff queue (inspectable in tests/benches).
+  [[nodiscard]] const replica::HintStore& hint_store() const {
+    return hints_;
   }
 
   /// The durable checkpoint store (inspectable in tests/benches).
@@ -393,6 +428,9 @@ class ShardedCluster {
   std::map<NodeId, SimTime> crashed_at_;
   replica::DurableStorage storage_;
   std::unique_ptr<replica::CheckpointEngine> engine_;
+  /// Hinted-handoff queue (durable medium at the stand-ins, modeled
+  /// cluster-wide like storage_).
+  replica::HintStore hints_;
   /// Periodic checkpoint timer per endpoint id (0 = none armed).
   std::vector<std::uint64_t> checkpoint_timers_;
   std::unique_ptr<RequestRouter> router_;

@@ -365,6 +365,182 @@ TEST(ClientSessionTest, OpHandlesCompleteOnTheSimulatorClock) {
   EXPECT_TRUE(immediate);
 }
 
+TEST(ClientSessionTest, FreshnessHintsDecayOnTheSimClock) {
+  // Regression (hints never decayed): a stale hint claiming a replica is
+  // far behind used to suppress that replica from bounded-staleness
+  // selection forever, even long after it caught up.  Hints now age out
+  // on the sim clock (config.freshness_hint_ttl), after which selection
+  // falls back to latency and the exact serve-time bound check.
+  shard::ShardedClusterConfig cfg = session_config(1001);
+  cfg.freshness_hint_ttl = sec(2);
+  shard::ShardedCluster cluster(cfg);
+  Client client(cluster);
+  ClientSession writer = client.session();
+
+  const FileId file = 7;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.put(file, "d" + std::to_string(i), 1.0).ok());
+  }
+  cluster.run_for(sec(1));  // pushes deliver: the whole group is in sync
+
+  // Find an origin whose latency-nearest group member is a
+  // non-coordinator replica — the one a bounded read would serve absent
+  // any hints.
+  const std::vector<NodeId> group = cluster.group_of(file);
+  ASSERT_EQ(group.size(), 3u);
+  NodeId origin = kNoNode;
+  NodeId nearest = kNoNode;
+  for (NodeId o = 0; o < cluster.size() && origin == kNoNode; ++o) {
+    NodeId best = group[0];
+    for (NodeId m : group) {
+      if (cluster.latency().mean(o, m) < cluster.latency().mean(o, best)) {
+        best = m;
+      }
+    }
+    if (best != group[0]) {
+      origin = o;
+      nearest = best;
+    }
+  }
+  ASSERT_NE(origin, kNoNode) << "no origin prefers a non-coordinator";
+
+  // A stale observation: `nearest` once looked 9 versions behind.  It
+  // has long since caught up, but the hint is all the router knows.
+  shard::RequestRouter& router = cluster.router();
+  router.note_freshness(file, nearest, 1, cluster.sim().now());
+  EXPECT_EQ(router.freshness_hint(file, nearest), 1u);
+
+  ClientSession before = client.session(
+      {.level = ConsistencyLevel::bounded_staleness(50), .origin = origin});
+  const OpHandle<ReadResult> suppressed = before.read(file);
+  ASSERT_TRUE(suppressed.ok());
+  EXPECT_NE(suppressed->served_by, nearest)
+      << "a 9-behind hint should lose selection to unhinted replicas";
+
+  // Past the decay horizon the hint stops informing selection: the read
+  // goes back to the nearest replica, and the hint reads as absent.
+  cluster.run_for(sec(3));
+  EXPECT_EQ(router.freshness_hint(file, nearest), 0u);
+  ClientSession after = client.session(
+      {.level = ConsistencyLevel::bounded_staleness(50), .origin = origin});
+  const OpHandle<ReadResult> restored = after.read(file);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->served_by, nearest);
+  EXPECT_EQ(restored->staleness_versions, 0u);
+
+  // An expired entry no longer keep-maxes: the next honest observation
+  // lands even if it reports fewer versions than the decayed one.
+  router.note_freshness(file, nearest, 3, cluster.sim().now());
+  EXPECT_EQ(router.freshness_hint(file, nearest), 3u);
+  EXPECT_GT(router.stats().expired_hints, 0u);
+}
+
+TEST(ClientSessionTest, CrashPurgesHintsForTheDeadIncarnation) {
+  // Regression (stale hints survived crash/restart): a pre-crash hint
+  // describes volatile state that no longer exists, and keep-max let it
+  // outrank every honest post-restart observation (version counts are
+  // only monotone within an incarnation).  crash_endpoint() now purges
+  // the endpoint's hints across all files.
+  shard::ShardedCluster cluster(
+      session_config(1102, /*anti_entropy=*/msec(500)));
+  Client client(cluster);
+  ClientSession writer = client.session();
+
+  const FileId file = 4;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(writer.put(file, "c" + std::to_string(i), 1.0).ok());
+  }
+  cluster.run_for(sec(3));  // digest rounds hint the peers fresh
+
+  const std::vector<NodeId> group = cluster.group_of(file);
+  const NodeId peer = group[1];
+  shard::RequestRouter& router = cluster.router();
+  ASSERT_GT(router.freshness_hint(file, peer), 0u);
+
+  cluster.crash_endpoint(peer);
+  EXPECT_EQ(router.freshness_hint(file, peer), 0u)
+      << "crash must purge the dead incarnation's hints";
+  EXPECT_GT(router.stats().expired_hints, 0u);
+
+  cluster.restart_endpoint(peer);
+  // The restarted incarnation starts unhinted — not preferred on its
+  // pre-crash reputation — and an honest low observation is accepted
+  // (keep-max would have pinned the pre-crash count).
+  EXPECT_EQ(router.freshness_hint(file, peer), 0u);
+  router.note_freshness(file, peer, 2, cluster.sim().now());
+  EXPECT_EQ(router.freshness_hint(file, peer), 2u);
+}
+
+TEST(ClientSessionTest, ReadCacheServesRepeatReadsInsideTheBound) {
+  shard::ShardedCluster cluster(session_config(1203));
+  Client client(cluster);
+  ClientSession writer = client.session();
+
+  const FileId file = 6;
+  ASSERT_TRUE(writer.put(file, "v0", 1.0).ok());
+  cluster.run_for(sec(1));
+
+  ClientSession reader = client.session(
+      {.level = ConsistencyLevel::bounded_staleness(10, sec(5)),
+       .origin = 2,
+       .cache_reads = true});
+  const std::uint64_t routed_before = cluster.router().stats().reads;
+
+  // First read routes and populates the cache.
+  const OpHandle<ReadResult> miss = reader.read(file);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(cluster.router().stats().reads, routed_before + 1);
+  EXPECT_EQ(reader.stats().cache_hits, 0u);
+
+  // Repeat read: served from the snapshot, zero router traffic, zero
+  // latency, same shared view.
+  const OpHandle<ReadResult> hit = reader.read(file);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cluster.router().stats().reads, routed_before + 1);
+  EXPECT_EQ(reader.stats().cache_hits, 1u);
+  EXPECT_EQ(hit.latency(), 0);
+  EXPECT_EQ(hit->updates.get(), miss->updates.get());
+
+  // The served age is provable: it grows exactly with the sim clock and
+  // must never exceed the declared bound.
+  cluster.run_for(sec(4));
+  const OpHandle<ReadResult> aged = reader.read(file);
+  ASSERT_TRUE(aged.ok());
+  EXPECT_EQ(reader.stats().cache_hits, 2u);
+  EXPECT_GE(aged->staleness_age, sec(4));
+  EXPECT_LE(aged->staleness_age, sec(5));
+
+  // Past the bound the snapshot can never be served again: expiry, and
+  // the read routes (and re-caches).
+  cluster.run_for(sec(2));
+  const OpHandle<ReadResult> expired = reader.read(file);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(reader.stats().cache_expiries, 1u);
+  EXPECT_EQ(cluster.router().stats().reads, routed_before + 2);
+
+  // The session's own write invalidates its cache (read-your-writes at
+  // the level's guarantee): the next read routes instead of serving the
+  // pre-write snapshot.
+  (void)reader.read(file);  // hit on the re-cached snapshot
+  EXPECT_EQ(reader.stats().cache_hits, 3u);
+  (void)reader.put(file, "mine", 1.0);
+  const OpHandle<ReadResult> after_write = reader.read(file);
+  ASSERT_TRUE(after_write.ok());
+  EXPECT_EQ(cluster.router().stats().reads, routed_before + 3);
+
+  // Levels that cannot prove the bound bypass the cache entirely.
+  const OpHandle<ReadResult> strong =
+      reader.read(file, ConsistencyLevel::strong());
+  ASSERT_TRUE(strong.ok());
+  EXPECT_EQ(cluster.router().stats().reads, routed_before + 4);
+  // A versions-only bound is not provable without the cluster either.
+  const OpHandle<ReadResult> versions_only =
+      reader.read(file, ConsistencyLevel::bounded_staleness(10));
+  ASSERT_TRUE(versions_only.ok());
+  EXPECT_EQ(cluster.router().stats().reads, routed_before + 5);
+  EXPECT_EQ(reader.stats().cache_hits, 3u);
+}
+
 TEST(ClientSessionTest, PerOpOverrideAndSessionStats) {
   shard::ShardedCluster cluster(session_config(808));
   Client client(cluster);
