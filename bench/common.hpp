@@ -10,8 +10,10 @@
 
 #include "apps/workload.hpp"
 #include "core/cluster.hpp"
+#include "net/sim_transport.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "workload/engine.hpp"
 
 namespace idea::bench {
 
@@ -60,6 +62,41 @@ inline LevelSnapshot snapshot_levels(core::IdeaCluster& cluster) {
     s.average += lv / static_cast<double>(kWriters.size());
   }
   return s;
+}
+
+// ---------------------------------------------------------------------
+// Workload-shape helpers shared by the sharded-cluster benches (the Zipf
+// and arrival-schedule setup read_policies and shard_scalability used to
+// duplicate, now expressed through workload::OpenLoopEngine).
+// ---------------------------------------------------------------------
+
+/// Scripted full-loss windows: `length` of 100% loss every `every`,
+/// starting at `first`, while the window still fits before `end`.
+/// Replication pushes inside a window drop, so written files' replicas
+/// lag their coordinator until anti-entropy repairs them.
+inline void add_loss_windows(net::SimTransport& transport, SimTime first,
+                             SimTime end, SimDuration every,
+                             SimDuration length) {
+  for (SimTime t = first; t + length < end; t += every) {
+    transport.add_drop_window(t, t + length);
+  }
+}
+
+/// A constant arrival rate for the whole run.
+inline std::vector<workload::RatePhase> steady_rate(double ops_per_sec) {
+  return {{0, ops_per_sec}};
+}
+
+/// A constant Zipf skew for the whole run.
+inline std::vector<workload::ZipfPhase> steady_zipf(double s) {
+  return {{0, s}};
+}
+
+/// Client attach points 0..n-1 (one per endpoint).
+inline std::vector<NodeId> all_origins(std::uint32_t n) {
+  std::vector<NodeId> origins(n);
+  for (std::uint32_t i = 0; i < n; ++i) origins[i] = i;
+  return origins;
 }
 
 inline void print_header(const std::string& title) {

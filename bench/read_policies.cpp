@@ -38,12 +38,13 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "client/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observability.hpp"
 #include "shard/sharded_cluster.hpp"
 #include "util/flags.hpp"
-#include "util/rng.hpp"
+#include "workload/engine.hpp"
 
 namespace idea::bench {
 namespace {
@@ -128,35 +129,22 @@ LevelResult run_level(const Setup& s, const Cell& cell) {
   client::ClientSession writer =
       client.session({.write_concern = cell.concern, .origin = 0});
 
-  // Scripted loss windows (1.2 s of full loss every 3 s): replication
-  // pushes issued inside a window drop, so the written files' replicas
-  // lag their coordinator until anti-entropy repairs them — the staleness
+  // Scripted loss windows (1.2 s of full loss every 3 s): the staleness
   // the read policies then either accept (Eventual), cap (Bounded) or
   // refuse (Strong/Quorum).  Fault injection is RNG-stream-preserving,
   // so every level replays the identical history.
   const auto end_time = static_cast<SimTime>(s.sim_secs * 1'000'000.0);
-  for (SimTime t = sec(1); t + msec(1200) < end_time; t += sec(3)) {
-    cluster->transport().add_drop_window(t, t + msec(1200));
-  }
+  add_loss_windows(cluster->transport(), sec(1), end_time, sec(3),
+                   msec(1200));
 
-  // A steady write stream over a hot set of files, every 30 ms: hot
-  // files accumulate multiple versions of staleness inside each loss
-  // window instead of at most one.
+  // The workload runs on the shared open-loop engine: one write tenant
+  // cycling a hot set of files at a steady ~33 ops/s (hot files
+  // accumulate multiple versions of staleness inside each loss window),
+  // plus one read tenant per endpoint at ~3.3 ops/s whose Zipf(2.5) draw
+  // concentrates ~3/4 of its reads on a per-endpoint favorite (hotspot
+  // offset) — repeat favorite reads are what the session cache can serve
+  // router-free while inside the declared bound.
   const std::uint32_t hot = std::min<std::uint32_t>(8, s.files);
-  std::uint64_t write_index = 0;
-  std::function<void()> write_tick = [&] {
-    const FileId f = 1 + static_cast<FileId>(write_index % hot);
-    writer.put(f, "w" + std::to_string(write_index), 1.0);
-    ++write_index;
-    if (cluster->sim().now() + msec(30) <= end_time) {
-      cluster->sim().schedule_after(msec(30), write_tick);
-    }
-  };
-  cluster->sim().schedule_at(msec(50), write_tick);
-
-  // Readers: one session per endpoint, each reading every 300 ms under
-  // the measured level — half the reads on the hot set (where staleness
-  // lives), half across the whole keyspace.
   LevelResult result;
   result.name = cell.name;
   result.w = cell.concern.w;
@@ -167,29 +155,42 @@ LevelResult run_level(const Setup& s, const Cell& cell) {
                                       .origin = origin,
                                       .cache_reads = cell.cache_reads}));
   }
-  // Zipf-like read-heavy skew: each reader favors one hot file (75% of
-  // its reads) and scatters the rest over the whole keyspace.  Repeat
-  // reads of the favorite are what the session cache can serve
-  // router-free while inside the declared bound.
-  Rng pick(mix64(s.seed ^ 0x5EAD5ULL));
-  std::function<void()> read_tick = [&] {
-    for (std::size_t i = 0; i < readers.size(); ++i) {
-      client::ClientSession& reader = readers[i];
-      const FileId favorite = 1 + static_cast<FileId>(i % hot);
-      const FileId f = pick.chance(0.75)
-                           ? favorite
-                           : 1 + static_cast<FileId>(pick.next_below(s.files));
-      const client::OpHandle<client::ReadResult> h = reader.read(f);
-      if (!h.ok()) continue;
-      if (h->served_by == cluster->coordinator_endpoint(f)) {
-        ++result.coordinator_served;
-      }
-    }
-    if (cluster->sim().now() + msec(300) <= end_time) {
-      cluster->sim().schedule_after(msec(300), read_tick);
-    }
-  };
-  cluster->sim().schedule_at(msec(500), read_tick);
+
+  std::vector<workload::TenantSpec> tenants;
+  workload::TenantSpec writes;
+  writes.name = "writer";
+  writes.keys = hot;
+  writes.read_fraction = 0.0;
+  writes.rate = steady_rate(1000.0 / 30.0);
+  tenants.push_back(writes);
+  for (std::uint32_t i = 0; i < s.endpoints; ++i) {
+    workload::TenantSpec reads;
+    reads.name = "reader";
+    reads.keys = s.files;
+    reads.read_fraction = 1.0;
+    reads.rate = steady_rate(1000.0 / 300.0);
+    reads.zipf = steady_zipf(2.5);
+    reads.hotspot = {{0, i % hot}};
+    tenants.push_back(reads);
+  }
+
+  workload::OpenLoopEngine engine(
+      cluster->sim(),
+      workload::EngineOptions{msec(50), end_time, s.seed ^ 0x5EAD5ULL},
+      std::move(tenants), [&](const workload::Op& op) {
+        const FileId f = 1 + static_cast<FileId>(op.key);
+        if (op.tenant == 0) {
+          writer.put(f, "w" + std::to_string(op.index), 1.0);
+          return;
+        }
+        client::ClientSession& reader = readers[op.tenant - 1];
+        const client::OpHandle<client::ReadResult> h = reader.read(f);
+        if (!h.ok()) return;
+        if (h->served_by == cluster->coordinator_endpoint(f)) {
+          ++result.coordinator_served;
+        }
+      });
+  engine.start();
 
   cluster->run_until(end_time);
 

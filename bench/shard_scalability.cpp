@@ -3,7 +3,9 @@
 ///
 /// Sweeps deployments from 4 endpoints / 250 files up to 32 endpoints /
 /// 2000 files (replication k=3 throughout), drives each with the same
-/// per-client key-value workload, and reports aggregate applied-write
+/// open-loop key-value workload (workload::OpenLoopEngine, Zipf(0.9)
+/// popularity at the old per-client aggregate rate), and reports
+/// aggregate applied-write
 /// throughput in simulated ops/s plus the wall-clock cost of simulating
 /// it.  A final pair of runs repeats the largest deployment with and
 /// without the BatchingTransport to isolate what per-tick coalescing
@@ -78,20 +80,37 @@ RunResult run_once(const RunConfig& rc) {
   cluster.place(1, rc.files);
   apps::KvStore kv(cluster,
                    apps::KvStoreOptions{.buckets = rc.files, .first_file = 1});
-  apps::KvWorkloadParams wl;
-  wl.clients = rc.endpoints * rc.clients_per_endpoint;
-  wl.interval = msec(250);
-  wl.duration = rc.sim_duration;
-  wl.keyspace = rc.files * 4;
-  wl.zipf_s = 0.9;
-  apps::KvWorkload workload(kv, cluster.sim(), wl, rc.seed ^ 0xBEEF);
-  workload.start();
+  // One open-loop write tenant standing in for all scripted clients: the
+  // same aggregate arrival rate (clients / 250 ms) and Zipf(0.9) key
+  // popularity the old per-client KvWorkload produced, now expressed
+  // through the shared workload engine.
+  const std::uint32_t clients = rc.endpoints * rc.clients_per_endpoint;
+  workload::TenantSpec writes;
+  writes.name = "kv-writers";
+  writes.keys = rc.files * 4;
+  writes.read_fraction = 0.0;
+  writes.rate = steady_rate(static_cast<double>(clients) * 4.0);
+  writes.zipf = steady_zipf(0.9);
+  workload::OpenLoopEngine engine(
+      cluster.sim(),
+      workload::EngineOptions{cluster.sim().now(),
+                              cluster.sim().now() + rc.sim_duration,
+                              rc.seed ^ 0xBEEF},
+      {writes}, [&](const workload::Op& op) {
+        char key[16];
+        std::snprintf(key, sizeof key, "k%06u", op.key);
+        char value[32];
+        std::snprintf(value, sizeof value, "op%llu",
+                      static_cast<unsigned long long>(op.index));
+        kv.put(key, value);
+      });
+  engine.start();
   cluster.run_for(rc.sim_duration + sec(10));  // run, then settle
 
   RunResult r;
   r.endpoints = rc.endpoints;
   r.files = rc.files;
-  r.ops_attempted = workload.attempted();
+  r.ops_attempted = engine.total_ops();
   r.puts_applied = kv.puts();
   r.sim_seconds = to_sec(rc.sim_duration);
   r.throughput = r.sim_seconds > 0.0

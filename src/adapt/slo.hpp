@@ -1,0 +1,36 @@
+#pragma once
+/// \file slo.hpp
+/// \brief Tenant-declared service-level objectives for adaptive sessions.
+///
+/// The paper's controller needs a target to adapt *toward*: a tenant
+/// declares what it can tolerate (staleness) and what it must deliver
+/// (latency), and the ConsistencyController renegotiates the tenant's
+/// bounded-staleness bound against both.  The two axes pull in opposite
+/// directions — a tighter bound escalates more reads to the coordinator
+/// (latency up, staleness down), a looser bound serves more reads nearby
+/// (latency down, staleness up) — which is exactly the trade the ROADMAP
+/// item 4 example ("p99 staleness <= 2 versions, p95 read <= 50 ms")
+/// describes.
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace idea::adapt {
+
+/// A composite objective: both clauses must hold for the SLO to be
+/// attained.  Defaults match the ROADMAP's worked example.
+struct Slo {
+  /// p99 of observed per-read staleness must stay at or under this many
+  /// versions behind the coordinator.
+  std::uint64_t p99_staleness_versions = 2;
+  /// p95 of client-observed read latency must stay at or under this.
+  SimDuration p95_read_latency = msec(50);
+
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Slo&, const Slo&) = default;
+};
+
+}  // namespace idea::adapt

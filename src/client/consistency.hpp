@@ -142,6 +142,10 @@ struct ReadResult {
   /// Client-observed latency under the latency model: round trip to the
   /// serving replica, or the slowest round trip of a quorum fan-out.
   SimDuration latency = 0;
+  /// The level the read was actually served at.  Equals the declared
+  /// level for static sessions; adaptive sessions may see the
+  /// controller's current per-file override instead.
+  Level effective_level = Level::kStrong;
 
   [[nodiscard]] bool ok() const { return updates != nullptr; }
 };

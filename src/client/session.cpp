@@ -57,7 +57,13 @@ ClientSession::ClientSession(shard::ShardedCluster& cluster,
                              SessionOptions options)
     : cluster_(cluster),
       options_(options),
-      stats_(std::make_shared<SessionStats>()) {}
+      stats_(std::make_shared<SessionStats>()) {
+  if (options_.adaptive && options_.declare_slo) {
+    if (adapt::ConsistencyController* ctl = cluster_.controller()) {
+      ctl->declare_slo(options_.tenant, options_.slo);
+    }
+  }
+}
 
 OpHandle<WriteAck> ClientSession::put(FileId file, std::string content,
                                       double meta_delta) {
@@ -225,8 +231,9 @@ OpHandle<ReadResult> ClientSession::read(FileId file,
   }
   ++ops_;
 
+  const shard::ReadContext ctx{options_.adaptive, options_.tenant};
   ReadResult result =
-      cluster_.router().read(file, level, options_.origin, tc);
+      cluster_.router().read(file, level, options_.origin, tc, ctx);
   const bool ok = result.ok();
   ++stats_->reads;
   if (result.escalated) ++stats_->escalated_reads;
@@ -238,9 +245,12 @@ OpHandle<ReadResult> ClientSession::read(FileId file,
   if (o != nullptr && ok) {
     obs::Meter meter = o->cluster_meter();
     meter.add(session_metrics().reads);
-    meter.observe(read_latency_metric(level.level),
+    // Bin by the level the read was actually served at: identical to the
+    // declared level for static sessions, the controller's override for
+    // adaptive ones (so the per-level histograms stay truthful).
+    meter.observe(read_latency_metric(result.effective_level),
                   static_cast<std::uint64_t>(result.latency));
-    meter.observe(read_staleness_metric(level.level),
+    meter.observe(read_staleness_metric(result.effective_level),
                   result.staleness_versions);
     if (result.escalated) meter.add(session_metrics().escalated);
     if (result.staleness_versions > 0) meter.add(session_metrics().stale);

@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "adapt/slo.hpp"
 #include "client/consistency.hpp"
 #include "client/op_handle.hpp"
 #include "util/ids.hpp"
@@ -55,6 +56,21 @@ struct SessionOptions {
   /// The cache is invalidated by the session's own writes to the file,
   /// by close(), and by bound expiry.
   bool cache_reads = false;
+  /// Opt into detection-driven adaptive consistency: the cluster's
+  /// ConsistencyController (config.adapt.enabled) may serve this
+  /// session's reads at a different level than declared — hot contended
+  /// files escalate toward Strong/Quorum, cold files relax to Eventual,
+  /// and BoundedStaleness bounds are renegotiated against the tenant's
+  /// SLO.  Off (default) keeps the session byte-identical to a static
+  /// one even on an adaptive cluster.
+  bool adaptive = false;
+  /// Tenant this session belongs to (SLO accounting + renegotiation
+  /// scope).  Only meaningful with `adaptive`.
+  std::uint32_t tenant = 0;
+  /// Declare `slo` for `tenant` on the controller when the session
+  /// opens.  Later declarations for the same tenant overwrite.
+  bool declare_slo = false;
+  adapt::Slo slo;
 };
 
 /// Ack of one routed write.

@@ -37,6 +37,26 @@ std::size_t HintStore::drop_file(FileId file) {
   return dropped;
 }
 
+std::vector<HintedWrite> HintStore::take_file(FileId file) {
+  std::vector<HintedWrite> out;
+  auto keep = hints_.begin();
+  for (auto it = hints_.begin(); it != hints_.end(); ++it) {
+    if (it->file == file) {
+      out.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  hints_.erase(keep, hints_.end());
+  return out;
+}
+
+void HintStore::re_mint(HintedWrite hint) {
+  hints_.push_back(std::move(hint));
+  ++stats_.reminted;
+}
+
 std::size_t HintStore::depth_for(NodeId target) const {
   return static_cast<std::size_t>(
       std::count_if(hints_.begin(), hints_.end(),

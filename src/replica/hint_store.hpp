@@ -15,8 +15,14 @@
 /// durable medium itself (the stand-in's disk): it survives the crash of
 /// everything volatile, costs no wire traffic to write, and is drained —
 /// not read in place — exactly once per returning target.  Updates are
-/// keyed in rank space, so hints for a file whose group membership (rank
-/// mapping) changed are meaningless and must be dropped with the file.
+/// keyed in rank space; when a file's group membership changes the old
+/// member vector is what translates those keys.  Migration *re-mints*
+/// hints instead of dropping them: the migration folds each hint's update
+/// into the union snapshot (the key survives unchanged — the snapshot is
+/// imported as-is and the new coordinator continues the lineage writer
+/// sequence) and re-queues hints whose target is a still-crashed member
+/// of the new group, so sloppy durability survives membership changes.
+/// Only close_file() still drops.
 ///
 /// Everything here is deterministic: hints drain in queue order and all
 /// state derives from protocol events, never wall-clock — fixed-seed
@@ -43,7 +49,15 @@ struct HintedWrite {
 struct HintStoreStats {
   std::uint64_t queued = 0;
   std::uint64_t drained = 0;  ///< Handed back on a target's return.
-  std::uint64_t dropped = 0;  ///< Purged with a closed/migrated file.
+  std::uint64_t dropped = 0;  ///< Purged with a closed file.
+  /// Re-queued across a migration: the hint's target is a crashed member
+  /// of the file's *new* group, so the parked update still owes it a
+  /// durable hand-off.
+  std::uint64_t reminted = 0;
+  /// Retired across a migration: the target is no longer a (crashed)
+  /// member of the new group, and the hint's update was folded into the
+  /// migration snapshot — the obligation moved to the live group.
+  std::uint64_t retired = 0;
 };
 
 class HintStore {
@@ -54,10 +68,22 @@ class HintStore {
   /// (deterministic — the drain replays identically under a fixed seed).
   [[nodiscard]] std::vector<HintedWrite> drain_for(NodeId target);
 
-  /// Purge the file's hints (its group was torn down or its rank mapping
-  /// changed, making the rank-space update keys meaningless).  Returns
+  /// Purge the file's hints (the file is being closed for good).  Returns
   /// how many were dropped.
   std::size_t drop_file(FileId file);
+
+  /// Remove and return the file's hints in queue order, *without*
+  /// counting them dropped — the migration path decides per hint whether
+  /// to re_mint() or retire() it.
+  [[nodiscard]] std::vector<HintedWrite> take_file(FileId file);
+
+  /// Re-queue a hint that survived a migration (target still a crashed
+  /// member of the new group).
+  void re_mint(HintedWrite hint);
+
+  /// Account `count` hints whose obligation a migration absorbed (their
+  /// updates were folded into the state snapshot).
+  void retire(std::size_t count) { stats_.retired += count; }
 
   /// Hints currently parked (across all targets / for one target).
   [[nodiscard]] std::size_t depth() const { return hints_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "adapt/controller.hpp"
 #include "core/idea_node.hpp"
 #include "shard/sharded_cluster.hpp"
 
@@ -29,6 +30,8 @@ struct RouterMetrics {
       obs::MetricId::intern("router.write.sloppy");
   obs::MetricId hint_expired =
       obs::MetricId::intern("router.hint.expired");
+  obs::MetricId read_adapted =
+      obs::MetricId::intern("router.read.adapted");
 };
 
 const RouterMetrics& router_metrics() {
@@ -68,6 +71,9 @@ bool RequestRouter::write(FileId file, std::string content,
     return false;
   }
   ++stats_.writes;
+  if (adapt::ConsistencyController* ctl = cluster_.controller()) {
+    ctl->on_write(file);
+  }
   if (obs::Observability* o = observability()) {
     o->cluster_meter().add(router_metrics().writes);
     if (failover) o->cluster_meter().add(router_metrics().write_failover);
@@ -141,6 +147,9 @@ RequestRouter::WriteDispatch RequestRouter::write_with_concern(
   }
   ++stats_.writes;
   d.applied = true;
+  if (adapt::ConsistencyController* ctl = cluster_.controller()) {
+    ctl->on_write(file);
+  }
   if (w > 1) ++stats_.wack_writes;
 
   // Park the hints only after the local apply produced the real update.
@@ -449,7 +458,32 @@ client::ReadResult RequestRouter::serve_quorum(
 client::ReadResult RequestRouter::read(FileId file,
                                        const client::ConsistencyLevel& level,
                                        NodeId origin,
-                                       const obs::TraceContext& tc) {
+                                       const obs::TraceContext& tc,
+                                       const ReadContext& ctx) {
+  adapt::ConsistencyController* ctl = cluster_.controller();
+  client::ConsistencyLevel effective = level;
+  if (ctx.adaptive && ctl != nullptr) {
+    effective = ctl->effective_level(file, ctx.tenant, level);
+  }
+  client::ReadResult res = route_read(file, effective, origin, tc);
+  res.effective_level = effective.level;
+  if (ctx.adaptive && !(effective == level)) {
+    ++stats_.adapted_reads;
+    if (obs::Observability* o = observability()) {
+      o->cluster_meter().add(router_metrics().read_adapted);
+    }
+  }
+  // Every routed read feeds the controller's per-file contention
+  // signals; only adaptive reads enter tenant SLO accounting.
+  if (ctl != nullptr && res.ok()) {
+    ctl->on_read(file, ctx.tenant, ctx.adaptive, res);
+  }
+  return res;
+}
+
+client::ReadResult RequestRouter::route_read(
+    FileId file, const client::ConsistencyLevel& level, NodeId origin,
+    const obs::TraceContext& tc) {
   core::IdeaNode* coordinator = open(file);
   if (coordinator == nullptr) return {};
   const std::vector<NodeId>* members = cluster_.members_of(file);

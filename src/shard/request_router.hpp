@@ -52,6 +52,10 @@ namespace idea::core {
 class IdeaNode;
 }
 
+namespace idea::adapt {
+class ConsistencyController;
+}
+
 namespace idea::shard {
 
 class ShardedCluster;
@@ -71,6 +75,9 @@ struct RouterStats {
   std::uint64_t bounded_reads = 0;
   std::uint64_t bounded_escalations = 0;  ///< Bound exceeded; coordinator.
   std::uint64_t quorum_reads = 0;
+  /// Adaptive reads the controller served at a level other than the
+  /// session's declared one.
+  std::uint64_t adapted_reads = 0;
   std::uint64_t migration_window_reads = 0;  ///< Pinned to warm coordinator.
   std::uint64_t freshness_hints = 0;  ///< Hint-table updates ingested.
   /// Decayed hint entries overwritten or purged (see note_freshness).
@@ -84,6 +91,15 @@ struct RouterStats {
   /// Reads served per endpoint (shows policy reads spreading off the
   /// coordinators).
   std::map<NodeId, std::uint64_t> reads_served_by;
+};
+
+/// Per-read routing context beyond the declared level: whether the
+/// session opted into adaptive consistency, and which tenant it belongs
+/// to (for SLO accounting).  Default-constructed = a static session,
+/// whose routing is byte-identical to the pre-adaptive build.
+struct ReadContext {
+  bool adaptive = false;
+  std::uint32_t tenant = 0;
 };
 
 class RequestRouter {
@@ -161,11 +177,16 @@ class RequestRouter {
   /// read (`tc` active) records serve/escalate/fan-out decision spans,
   /// and a traced read that observes staleness parks `tc` as the file's
   /// pending repair trace so the healing anti-entropy round joins the
-  /// span tree.
+  /// span tree.  When `ctx.adaptive` and the cluster runs a
+  /// ConsistencyController, the controller's current per-file target
+  /// overrides `level` (ReadResult::effective_level says what was
+  /// actually served); every routed read — adaptive or not — feeds the
+  /// controller's contention signals.
   [[nodiscard]] client::ReadResult read(FileId file,
                                         const client::ConsistencyLevel& level,
                                         NodeId origin,
-                                        const obs::TraceContext& tc = {});
+                                        const obs::TraceContext& tc = {},
+                                        const ReadContext& ctx = {});
 
   // ------------------------------------------------------------------
   // Routing inputs (fed by the shard layer)
@@ -246,6 +267,13 @@ class RequestRouter {
   [[nodiscard]] client::ReadResult serve_quorum(
       FileId file, const std::vector<NodeId>& members, NodeId origin,
       std::uint32_t r, const obs::TraceContext& tc = {});
+
+  /// The policy dispatch read() wraps: routes one read at an
+  /// already-resolved level.  This is the pre-adaptive read() body,
+  /// byte-identical for static sessions.
+  [[nodiscard]] client::ReadResult route_read(
+      FileId file, const client::ConsistencyLevel& level, NodeId origin,
+      const obs::TraceContext& tc);
 
   /// The deployment's observability (nullptr when disabled).
   [[nodiscard]] obs::Observability* observability() const;

@@ -40,6 +40,15 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
     arm_checkpoint_timer(n);
   }
   router_ = std::make_unique<RequestRouter>(*this);
+  if (config_.adapt.enabled) {
+    controller_ = std::make_unique<adapt::ConsistencyController>(
+        sim_, config_.adapt, obs_.get());
+    // The detector probe: what consistency level the coordinator's stack
+    // currently attaches to the file (1.0 = fully consistent).
+    controller_->set_level_probe(
+        [this](FileId file) { return router_->level(file); });
+    controller_->start();
+  }
 }
 
 ShardedCluster::~ShardedCluster() {
@@ -242,6 +251,19 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
         if (!inserted && invalidated) mit->second.invalidated = true;
       }
     }
+    // Parked hints may hold the *only* surviving copy of a sloppy-quorum
+    // write (every live old member may have missed it under loss).  Fold
+    // them into the union: the snapshot imports keys unchanged and the
+    // adopter continues the lineage writer sequence past them, so the
+    // rank-space keys stay valid across the membership change — the old
+    // member vector is only needed to decide, below, which hints still
+    // owe a crashed member of the *new* group a hand-off.
+    std::vector<replica::HintedWrite> parked = hints_.take_file(file);
+    for (const replica::HintedWrite& h : parked) {
+      const bool invalidated = h.update.invalidated;
+      auto [mit, inserted] = merged.emplace(h.update.key, h.update);
+      if (!inserted && invalidated) mit->second.invalidated = true;
+    }
     std::vector<replica::Update> snapshot;
     snapshot.reserve(merged.size());
     for (auto& [key, u] : merged) snapshot.push_back(std::move(u));
@@ -254,7 +276,12 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     }
     files_.erase(it);
 
-    if (members.empty()) continue;  // last endpoint left; file unplaced
+    if (members.empty()) {
+      // Last endpoint left; the file is unplaced and its parked hints
+      // have no group to hand back to.
+      hints_.retire(parked.size());
+      continue;
+    }
 
     // 3. Fresh stacks on the new members; the new coordinator adopts the
     //    snapshot synchronously (the durable hand-off — this also advances
@@ -262,9 +289,26 @@ void ShardedCluster::migrate_changed_groups(const HashRing& before,
     //    then streams it to the other ranks over the wire.
     FileGroup& group = open_group(file, std::move(members));
     if (router_ != nullptr) router_->forget_file(file);
-    // Parked hints carry rank-space update keys minted under the old
-    // membership; the new rank mapping makes them meaningless.
-    hints_.drop_file(file);
+    // Re-mint the parked hints against the new membership: a hint whose
+    // target is a still-crashed member of the new group keeps its durable
+    // hand-off obligation (at a fresh stand-in outside the new group);
+    // every other hint retires — its update now lives in the snapshot the
+    // live group adopted, which is strictly stronger than a parked copy.
+    std::size_t retired = 0;
+    for (replica::HintedWrite& h : parked) {
+      const bool still_owed =
+          is_crashed(h.target) &&
+          std::find(group.members.begin(), group.members.end(), h.target) !=
+              group.members.end();
+      if (!still_owed) {
+        ++retired;
+        continue;
+      }
+      const NodeId stand_in = stand_in_for(file, h.target);
+      if (stand_in != kNoNode) h.stand_in = stand_in;
+      hints_.re_mint(std::move(h));
+    }
+    hints_.retire(retired);
     // The adopting rank is the lowest alive one: rank 0 unless that
     // member is crashed, in which case the next alive rank takes the
     // snapshot (rank space is multi-writer, so this is safe).

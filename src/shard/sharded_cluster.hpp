@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adapt/controller.hpp"
 #include "core/service.hpp"
 #include "net/batching_transport.hpp"
 #include "net/sim_transport.hpp"
@@ -81,6 +82,10 @@ struct ShardedClusterConfig {
   /// consults hints without sending messages or drawing RNG, so the
   /// default does not perturb write/AE-only replays.
   SimDuration freshness_hint_ttl = sec(10);
+  /// Detection-driven adaptive consistency (see adapt/controller.hpp).
+  /// Off by default: no controller is constructed, routing is
+  /// byte-identical to the pre-adaptive build, and existing goldens hold.
+  adapt::ControllerConfig adapt;
 
   ShardedClusterConfig() { sync_sizes(); }
 
@@ -339,6 +344,11 @@ class ShardedCluster {
   /// The policy-driven request router every session operation funnels
   /// through (replica selection, freshness hints, migration awareness).
   [[nodiscard]] RequestRouter& router() { return *router_; }
+  /// The adaptive consistency control loop; nullptr when
+  /// config.adapt.enabled is false (the default).
+  [[nodiscard]] adapt::ConsistencyController* controller() {
+    return controller_.get();
+  }
   /// The deployment's observability surface; nullptr when
   /// config.observability.enabled is false.
   [[nodiscard]] obs::Observability* obs() { return obs_.get(); }
@@ -434,6 +444,9 @@ class ShardedCluster {
   /// Periodic checkpoint timer per endpoint id (0 = none armed).
   std::vector<std::uint64_t> checkpoint_timers_;
   std::unique_ptr<RequestRouter> router_;
+  /// Constructed after router_ (its level probe calls into the router);
+  /// null unless config.adapt.enabled.
+  std::unique_ptr<adapt::ConsistencyController> controller_;
 };
 
 }  // namespace idea::shard

@@ -1,0 +1,165 @@
+#include "workload/engine.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace idea::workload {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s)
+    : s_(s), n_(n == 0 ? 1 : n) {
+  if (s_ <= 0.0) return;  // Uniform: next_below is exact and cheaper.
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s_);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  if (cdf_.empty()) {
+    return static_cast<std::uint32_t>(rng.next_below(n_));
+  }
+  const double u = rng.uniform01();
+  // CDF inversion by binary search: first rank whose cumulative mass
+  // covers u.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = n_ - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+OpenLoopEngine::OpenLoopEngine(sim::Simulator& sim, EngineOptions options,
+                               std::vector<TenantSpec> tenants,
+                               Issuer issuer)
+    : sim_(sim),
+      options_(options),
+      tenants_(std::move(tenants)),
+      issuer_(std::move(issuer)) {
+  Rng root(options_.seed);
+  runtime_.reserve(tenants_.size());
+  stats_.resize(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    TenantSpec& spec = tenants_[i];
+    assert(!spec.rate.empty() && "tenant needs at least one rate phase");
+    TenantRuntime rt;
+    rt.rng = root.fork(i + 1);
+    if (spec.zipf.empty()) {
+      rt.samplers.emplace_back(spec.keys, 0.0);
+    } else {
+      for (const ZipfPhase& z : spec.zipf) {
+        rt.samplers.emplace_back(spec.keys, z.s);
+      }
+    }
+    runtime_.push_back(std::move(rt));
+  }
+}
+
+template <typename Phase>
+const Phase& OpenLoopEngine::phase_at(const std::vector<Phase>& phases,
+                                      SimTime at) {
+  const Phase* active = &phases.front();
+  for (const Phase& p : phases) {
+    if (p.start > at) break;
+    active = &p;
+  }
+  return *active;
+}
+
+std::size_t OpenLoopEngine::zipf_phase_index(const TenantSpec& spec,
+                                             SimTime at) const {
+  if (spec.zipf.empty()) return 0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < spec.zipf.size(); ++i) {
+    if (spec.zipf[i].start > at) break;
+    active = i;
+  }
+  return active;
+}
+
+void OpenLoopEngine::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::uint32_t i = 0; i < tenants_.size(); ++i) arm(i);
+}
+
+std::uint64_t OpenLoopEngine::total_ops() const {
+  std::uint64_t total = 0;
+  for (const TenantStats& s : stats_) total += s.ops;
+  return total;
+}
+
+void OpenLoopEngine::arm(std::uint32_t i) {
+  const TenantSpec& spec = tenants_[i];
+  TenantRuntime& rt = runtime_[i];
+  SimTime at = sim_.now();
+  if (at < options_.start) at = options_.start;
+
+  // Zero-rate phases pause the tenant: skip straight to the next phase
+  // boundary instead of sampling an infinite gap.  The rate is sampled
+  // once at scheduling time — a phase change mid-gap takes effect from
+  // the next arrival, which keeps the schedule a pure function of
+  // (seed, spec).
+  const RatePhase* rate = &phase_at(spec.rate, at);
+  while (rate->ops_per_sec <= 0.0) {
+    const RatePhase* next = nullptr;
+    for (const RatePhase& p : spec.rate) {
+      if (p.start > at) {
+        next = &p;
+        break;
+      }
+    }
+    if (next == nullptr) return;  // Silent for the rest of the run.
+    at = next->start;
+    rate = next;
+  }
+
+  const double mean_gap_us = 1e6 / rate->ops_per_sec;
+  const double gap = rt.rng.exponential(mean_gap_us);
+  SimTime fire_at = at + static_cast<SimDuration>(gap);
+  if (fire_at <= sim_.now()) fire_at = sim_.now() + 1;
+  if (fire_at >= options_.end) return;
+  sim_.schedule_at(fire_at, [this, i] { fire(i); });
+}
+
+void OpenLoopEngine::fire(std::uint32_t i) {
+  const TenantSpec& spec = tenants_[i];
+  TenantRuntime& rt = runtime_[i];
+  const SimTime now = sim_.now();
+
+  Op op;
+  op.tenant = i;
+  op.index = rt.next_index++;
+  op.is_read = spec.read_fraction >= 1.0 ||
+               (spec.read_fraction > 0.0 &&
+                rt.rng.uniform01() < spec.read_fraction);
+  const std::uint32_t rank =
+      rt.samplers[zipf_phase_index(spec, now)].sample(rt.rng);
+  const std::uint32_t offset =
+      spec.hotspot.empty() ? 0 : phase_at(spec.hotspot, now).offset;
+  op.key = (offset + rank) % (spec.keys == 0 ? 1 : spec.keys);
+  if (!spec.origins.empty()) {
+    op.origin = spec.origins[static_cast<std::size_t>(
+        rt.rng.next_below(spec.origins.size()))];
+  }
+
+  TenantStats& st = stats_[i];
+  ++st.ops;
+  if (op.is_read) {
+    ++st.reads;
+  } else {
+    ++st.writes;
+  }
+  issuer_(op);
+  arm(i);
+}
+
+}  // namespace idea::workload

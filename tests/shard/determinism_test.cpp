@@ -18,9 +18,13 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "adapt/controller.hpp"
 #include "apps/kvstore.hpp"
+#include "client/session.hpp"
 #include "shard/sharded_cluster.hpp"
+#include "workload/engine.hpp"
 
 namespace idea::shard {
 namespace {
@@ -291,6 +295,136 @@ TEST(ShardedClusterDeterminism, CrashSeed2007MatchesCapturedRun) {
       {"shard.replicate", 376},
   };
   EXPECT_EQ(r.per_type, expected);
+}
+
+/// Adaptive variant: the ConsistencyController is on, sessions opt in,
+/// and the open-loop workload engine drives a hot writer plus adaptive
+/// bounded readers.  Pins the entire adaptation pipeline — feedback
+/// accounting, tick decision order, escalation/relax/renegotiate rules,
+/// and the serve-time overrides they produce — to a fixed-seed outcome.
+/// Note the goldens in the tests ABOVE are untouched: with adapt.enabled
+/// off (the default) no controller exists and routing is byte-identical.
+struct AdaptiveReplay {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t escalated_reads = 0;
+  std::uint64_t adapted_reads = 0;
+  std::uint64_t content_digest = 0;
+  std::uint64_t decision_digest = 0;
+  std::vector<std::string> decisions;
+  adapt::ControllerStats ctl;
+};
+
+AdaptiveReplay replay_adaptive(std::uint64_t seed) {
+  constexpr std::uint32_t kFiles = 24;
+  ShardedClusterConfig cfg;
+  cfg.endpoints = 6;
+  cfg.replication = 3;
+  cfg.seed = seed;
+  cfg.anti_entropy_period = msec(500);
+  cfg.sync_sizes();
+  cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
+  cfg.idea.detection_period = sec(2);
+  cfg.freshness_hint_ttl = msec(800);
+  cfg.adapt.enabled = true;
+  ShardedCluster cluster(cfg);
+  cluster.place(1, kFiles);
+
+  client::Client client(cluster);
+  client::ClientSession writer = client.session({.origin = 0});
+  std::vector<client::ClientSession> readers;
+  for (NodeId origin : {NodeId{1}, NodeId{3}, NodeId{5}}) {
+    readers.push_back(client.session(
+        {.level = client::ConsistencyLevel::bounded_staleness(2),
+         .origin = origin,
+         .adaptive = true,
+         .tenant = 1,
+         .declare_slo = origin == 1,
+         .slo = adapt::Slo{2, msec(40)}}));
+  }
+
+  // Tenant 0: a hot writer hammering 8 keys — replicas lag between
+  // anti-entropy rounds, so bounded readers escalate and the controller
+  // sees contention.  Tenant 1: adaptive readers over the full keyspace —
+  // the cold tail relaxes to Eventual; the tight 40 ms latency clause
+  // forces bound renegotiation.
+  workload::TenantSpec hot;
+  hot.name = "hot";
+  hot.keys = 8;
+  hot.read_fraction = 0.0;
+  hot.rate = {{0, 60.0}};
+  workload::TenantSpec read;
+  read.name = "read";
+  read.keys = kFiles;
+  read.read_fraction = 1.0;
+  read.rate = {{0, 120.0}};
+  read.zipf = {{0, 1.1}};
+  read.origins = {1, 3, 5};
+
+  AdaptiveReplay r;
+  workload::OpenLoopEngine engine(
+      cluster.sim(), workload::EngineOptions{msec(50), sec(6), seed ^ 0xADA},
+      {hot, read}, [&](const workload::Op& op) {
+        const FileId f = 1 + static_cast<FileId>(op.key);
+        if (!op.is_read) {
+          writer.put(f, "w" + std::to_string(op.index), 1.0);
+          ++r.writes;
+          return;
+        }
+        const std::size_t at = op.origin == 1 ? 0 : (op.origin == 3 ? 1 : 2);
+        const client::OpHandle<client::ReadResult> h = readers[at].read(f);
+        if (!h.ok()) return;
+        ++r.reads;
+        if (h->staleness_versions > 0) ++r.stale_reads;
+        if (h->escalated) ++r.escalated_reads;
+      });
+  engine.start();
+  // Drain past the workload so post-traffic windows relax the now-idle
+  // files — the quiet-window rule is part of the pinned history.
+  cluster.run_until(sec(6) + sec(4));
+
+  for (FileId f = 1; f <= kFiles; ++f) {
+    core::IdeaNode* coord = cluster.replica_at_rank(f, 0);
+    if (coord != nullptr) {
+      r.content_digest ^= coord->store().content_digest() * (f * 2654435761ull);
+    }
+  }
+  r.adapted_reads = cluster.router().stats().adapted_reads;
+  r.ctl = cluster.controller()->stats();
+  r.decision_digest = cluster.controller()->decision_digest();
+  r.decisions = cluster.controller()->decision_log();
+  return r;
+}
+
+TEST(ShardedClusterDeterminism, AdaptiveReplayIsInternallyReproducible) {
+  const AdaptiveReplay a = replay_adaptive(2007);
+  const AdaptiveReplay b = replay_adaptive(2007);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.content_digest, b.content_digest);
+  EXPECT_EQ(a.adapted_reads, b.adapted_reads);
+  EXPECT_EQ(a.decisions, b.decisions);  // byte-identical decision log
+  EXPECT_EQ(a.decision_digest, b.decision_digest);
+  EXPECT_EQ(a.ctl.decisions, b.ctl.decisions);
+  EXPECT_EQ(a.ctl.escalations, b.ctl.escalations);
+  EXPECT_EQ(a.ctl.relaxations, b.ctl.relaxations);
+  EXPECT_EQ(a.ctl.renegotiations, b.ctl.renegotiations);
+}
+
+TEST(ShardedClusterDeterminism, AdaptiveSeed2007MatchesCapturedRun) {
+  // Captured from the run that introduced the adaptive controller.  A
+  // divergence means the feedback plumbing, tick rules, or decision-log
+  // format changed behavior; if intentional, re-capture and say so.
+  const AdaptiveReplay r = replay_adaptive(2007);
+  EXPECT_GT(r.ctl.escalations, 0u);
+  EXPECT_GT(r.ctl.relaxations, 0u);
+  EXPECT_GT(r.adapted_reads, 0u);
+  EXPECT_EQ(r.reads, 755u);
+  EXPECT_EQ(r.writes, 353u);
+  EXPECT_EQ(r.content_digest, 6857582279335632097ull);
+  EXPECT_EQ(r.ctl.decisions, 29u);
+  EXPECT_EQ(r.decision_digest, 4072593623399845738ull);
 }
 
 TEST(ShardedClusterDeterminism, ReplayIsInternallyReproducible) {

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <utility>
@@ -149,6 +150,99 @@ TEST(WriteConcernTest, SloppyQuorumHintsCrashedMemberAndDrainsOnce) {
   // coordinator, no duplicated applies.
   EXPECT_EQ(cluster.replica(file, dark)->store().update_count(),
             cluster.replica_at_rank(file, 0)->store().update_count());
+}
+
+TEST(WriteConcernTest, MigrationReMintsHintsForStillCrashedMembers) {
+  // Mint -> migrate -> drain: a hint parked for a crashed member must
+  // survive a membership change that reshapes the member's group.  The
+  // migration re-mints it at a fresh stand-in (outside the new group)
+  // instead of dropping it with the old group, and the restarted member
+  // still drains the write exactly once.
+  shard::ShardedCluster cluster(concern_config(66));
+  Client client(cluster);
+  ClientSession session =
+      client.session({.write_concern = WriteConcern::all(), .origin = 0});
+
+  const FileId file = 9;
+  ASSERT_TRUE(session.open(file));
+  const std::vector<NodeId> group = cluster.group_of(file);
+  ASSERT_EQ(group.size(), 3u);
+  const NodeId dark = group[2];
+  cluster.crash_endpoint(dark);
+  const OpHandle<WriteAck> h = session.put(file, "owed", 1.0);
+  cluster.run_for(sec(1));
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->hinted, 1u);
+  ASSERT_EQ(cluster.hint_store().depth_for(dark), 1u);
+
+  // A live member leaves while the debt is outstanding.
+  cluster.remove_endpoint(group[1]);
+  const std::vector<NodeId> regrouped = cluster.group_of(file);
+  ASSERT_NE(std::find(regrouped.begin(), regrouped.end(), dark),
+            regrouped.end())
+      << "seed layout changed: the crashed member left the group and the "
+         "re-mint path is not exercised; pick another seed";
+  EXPECT_GE(cluster.hint_store().stats().reminted, 1u);
+  EXPECT_EQ(cluster.hint_store().depth_for(dark), 1u);
+  const replica::HintedWrite& hint = cluster.hint_store().hints().front();
+  EXPECT_EQ(hint.target, dark);
+  EXPECT_TRUE(cluster.has_endpoint(hint.stand_in));
+  for (NodeId member : regrouped) EXPECT_NE(hint.stand_in, member);
+
+  // The debt pays out after the migration exactly as it would have
+  // before it.
+  const shard::RecoveryReport rec = cluster.restart_endpoint(dark);
+  EXPECT_EQ(rec.hinted_updates, 1u);
+  EXPECT_EQ(cluster.hint_store().depth(), 0u);
+  EXPECT_EQ(cluster.hint_store().stats().drained, 1u);
+  cluster.run_for(sec(2));
+  EXPECT_EQ(versions_behind(cluster, file, dark), 0u)
+      << "re-minted hint failed to drain to the restarted member";
+}
+
+TEST(WriteConcernTest, MigrationRetiresHintsWhenTheTargetLeavesTheGroup) {
+  // The other half of the migration contract: when a membership change
+  // moves the hinted member OUT of the file's replica group, its debt is
+  // moot — the hints are retired, not re-minted — but the write is NOT
+  // lost: the union snapshot folds parked hints in, so the migrated
+  // group still serves it.  (Seed 60 / file 5: the joining endpoint
+  // displaces the crashed member from the replica walk.)
+  shard::ShardedCluster cluster(concern_config(60));
+  Client client(cluster);
+  ClientSession session =
+      client.session({.write_concern = WriteConcern::all(), .origin = 0});
+
+  const FileId file = 5;
+  ASSERT_TRUE(session.open(file));
+  const std::vector<NodeId> group = cluster.group_of(file);
+  ASSERT_EQ(group.size(), 3u);
+  const NodeId dark = group[2];
+  cluster.crash_endpoint(dark);
+  const OpHandle<WriteAck> h = session.put(file, "folded", 1.0);
+  cluster.run_for(sec(1));
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(cluster.hint_store().depth_for(dark), 1u);
+
+  cluster.add_endpoint();
+  const std::vector<NodeId> regrouped = cluster.group_of(file);
+  ASSERT_EQ(std::find(regrouped.begin(), regrouped.end(), dark),
+            regrouped.end())
+      << "seed layout changed: the crashed member kept its slot and the "
+         "retire path is not exercised; pick another seed";
+  EXPECT_GE(cluster.hint_store().stats().retired, 1u);
+  EXPECT_EQ(cluster.hint_store().depth(), 0u);
+  EXPECT_EQ(cluster.hint_store().stats().reminted, 0u);
+
+  // The write survives in the reshaped group.
+  cluster.run_for(sec(1));
+  ClientSession reader =
+      client.session({.level = ConsistencyLevel::quorum(), .origin = 0});
+  const OpHandle<ReadResult> view = reader.read(file);
+  ASSERT_TRUE(view.ok());
+  std::set<std::string> seen;
+  for (const replica::Update& u : *view->updates) seen.insert(u.content);
+  EXPECT_TRUE(seen.count("folded") > 0)
+      << "hinted write lost when its target departed";
 }
 
 TEST(WriteConcernTest, GiveUpFiresTargetedAntiEntropy) {

@@ -1,0 +1,212 @@
+/// \file engine_test.cpp
+/// \brief OpenLoopEngine determinism and shaping: same-seed runs replay
+///        the identical op schedule, rate phases shape arrivals, Zipf
+///        jumps concentrate the key draw, and hotspot phases move it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/engine.hpp"
+
+namespace idea::workload {
+namespace {
+
+using Record = std::tuple<SimTime, std::uint32_t, bool, std::uint32_t,
+                          NodeId, std::uint64_t>;
+
+std::vector<Record> run_engine(const EngineOptions& options,
+                               const std::vector<TenantSpec>& tenants) {
+  sim::Simulator sim;
+  std::vector<Record> ops;
+  OpenLoopEngine engine(sim, options, tenants, [&](const Op& op) {
+    ops.emplace_back(sim.now(), op.tenant, op.is_read, op.key, op.origin,
+                     op.index);
+  });
+  engine.start();
+  sim.run_until(options.end + 1);
+  return ops;
+}
+
+TEST(OpenLoopEngineTest, SameSeedReplaysIdenticalSchedule) {
+  TenantSpec mixed;
+  mixed.name = "mixed";
+  mixed.keys = 64;
+  mixed.read_fraction = 0.7;
+  mixed.rate = {{0, 200.0}, {sec(2), 50.0}};
+  mixed.zipf = {{0, 0.0}, {sec(1), 2.0}};
+  mixed.hotspot = {{0, 0}, {sec(3), 32}};
+  mixed.origins = {0, 3, 5};
+  TenantSpec writer;
+  writer.name = "writer";
+  writer.keys = 8;
+  writer.read_fraction = 0.0;
+  writer.rate = {{0, 40.0}};
+  const EngineOptions options{msec(10), sec(4), 77};
+
+  const std::vector<Record> a = run_engine(options, {mixed, writer});
+  const std::vector<Record> b = run_engine(options, {mixed, writer});
+  ASSERT_GT(a.size(), 100u);
+  EXPECT_EQ(a, b);
+
+  // A different seed produces a different schedule.
+  EngineOptions reseeded = options;
+  reseeded.seed = 78;
+  EXPECT_NE(a, run_engine(reseeded, {mixed, writer}));
+}
+
+TEST(OpenLoopEngineTest, RatePhasesShapeArrivals) {
+  TenantSpec t;
+  t.keys = 4;
+  t.rate = {{0, 100.0}, {sec(2), 0.0}, {sec(4), 200.0}};
+  const std::vector<Record> ops = run_engine({0, sec(6), 11}, {t});
+
+  std::uint64_t first = 0;
+  std::uint64_t quiet = 0;
+  std::uint64_t last = 0;
+  for (const Record& r : ops) {
+    const SimTime at = std::get<0>(r);
+    if (at < sec(2)) {
+      ++first;
+    } else if (at < sec(4)) {
+      // Open-loop semantics: the inter-arrival gap is drawn at
+      // scheduling time, so at most the one op armed under the previous
+      // phase's rate may spill past the boundary.
+      ++quiet;
+      EXPECT_LT(at, sec(2) + msec(100)) << "op deep inside zero-rate phase";
+    } else {
+      ++last;
+    }
+  }
+  // Poisson arrivals: expect ~200 / ~0 / ~400 with generous slack.
+  EXPECT_GT(first, 140u);
+  EXPECT_LT(first, 260u);
+  EXPECT_LE(quiet, 1u) << "zero-rate phase must be silent";
+  EXPECT_GT(last, 300u);
+  EXPECT_LT(last, 500u);
+}
+
+TEST(OpenLoopEngineTest, ZipfJumpConcentratesTheDraw) {
+  TenantSpec t;
+  t.keys = 100;
+  t.rate = {{0, 500.0}};
+  t.zipf = {{0, 0.0}, {sec(2), 2.5}};
+  const std::vector<Record> ops = run_engine({0, sec(4), 22}, {t});
+
+  std::map<std::uint32_t, std::uint64_t> uniform;
+  std::map<std::uint32_t, std::uint64_t> skewed;
+  std::uint64_t uniform_total = 0;
+  std::uint64_t skewed_total = 0;
+  for (const Record& r : ops) {
+    if (std::get<0>(r) < sec(2)) {
+      ++uniform[std::get<3>(r)];
+      ++uniform_total;
+    } else {
+      ++skewed[std::get<3>(r)];
+      ++skewed_total;
+    }
+  }
+  std::uint64_t uniform_top = 0;
+  for (const auto& [key, n] : uniform) uniform_top = std::max(uniform_top, n);
+  // Uniform over 100 keys: no key should dominate.
+  EXPECT_LT(static_cast<double>(uniform_top) /
+                static_cast<double>(uniform_total),
+            0.08);
+  // Zipf(2.5): rank 0 alone draws the majority.
+  EXPECT_GT(static_cast<double>(skewed[0]) /
+                static_cast<double>(skewed_total),
+            0.5);
+}
+
+TEST(OpenLoopEngineTest, HotspotPhaseMovesTheFavoredKeys) {
+  TenantSpec t;
+  t.keys = 40;
+  t.rate = {{0, 400.0}};
+  t.zipf = {{0, 3.0}};
+  t.hotspot = {{0, 5}, {sec(2), 25}};
+  const std::vector<Record> ops = run_engine({0, sec(4), 33}, {t});
+
+  std::map<std::uint32_t, std::uint64_t> before;
+  std::map<std::uint32_t, std::uint64_t> after;
+  for (const Record& r : ops) {
+    (std::get<0>(r) < sec(2) ? before : after)[std::get<3>(r)]++;
+  }
+  const auto mode = [](const std::map<std::uint32_t, std::uint64_t>& m) {
+    std::uint32_t best = 0;
+    std::uint64_t n = 0;
+    for (const auto& [key, count] : m) {
+      if (count > n) {
+        best = key;
+        n = count;
+      }
+    }
+    return best;
+  };
+  // Zipf rank 0 maps to key (offset + 0) % keys in each phase.
+  EXPECT_EQ(mode(before), 5u);
+  EXPECT_EQ(mode(after), 25u);
+}
+
+TEST(OpenLoopEngineTest, ReadFractionAndOriginsAreRespected) {
+  TenantSpec t;
+  t.keys = 10;
+  t.read_fraction = 0.3;
+  t.rate = {{0, 400.0}};
+  t.origins = {2, 5};
+  const std::vector<Record> ops = run_engine({0, sec(3), 44}, {t});
+
+  std::uint64_t reads = 0;
+  for (const Record& r : ops) {
+    if (std::get<2>(r)) ++reads;
+    const NodeId origin = std::get<4>(r);
+    EXPECT_TRUE(origin == 2 || origin == 5);
+  }
+  const double frac =
+      static_cast<double>(reads) / static_cast<double>(ops.size());
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.4);
+
+  // No declared origins: ops carry kNoNode (client picks/co-locates).
+  TenantSpec bare = t;
+  bare.origins.clear();
+  bare.read_fraction = 1.0;
+  for (const Record& r : run_engine({0, sec(1), 44}, {bare})) {
+    EXPECT_EQ(std::get<4>(r), kNoNode);
+    EXPECT_TRUE(std::get<2>(r));
+  }
+}
+
+TEST(OpenLoopEngineTest, StatsAndIndicesAccount) {
+  TenantSpec reader;
+  reader.keys = 4;
+  reader.rate = {{0, 100.0}};
+  TenantSpec writer;
+  writer.keys = 4;
+  writer.read_fraction = 0.0;
+  writer.rate = {{0, 60.0}};
+
+  sim::Simulator sim;
+  std::map<std::uint32_t, std::uint64_t> next_index;
+  std::uint64_t seen = 0;
+  OpenLoopEngine engine(sim, {0, sec(4), 55}, {reader, writer},
+                        [&](const Op& op) {
+                          EXPECT_EQ(op.index, next_index[op.tenant]++);
+                          ++seen;
+                        });
+  engine.start();
+  sim.run_until(sec(5));
+
+  EXPECT_EQ(engine.total_ops(), seen);
+  EXPECT_EQ(engine.stats(0).ops + engine.stats(1).ops, seen);
+  EXPECT_EQ(engine.stats(0).writes, 0u);
+  EXPECT_EQ(engine.stats(1).reads, 0u);
+  EXPECT_GT(engine.stats(0).reads, 0u);
+  EXPECT_GT(engine.stats(1).writes, 0u);
+}
+
+}  // namespace
+}  // namespace idea::workload
