@@ -4,6 +4,8 @@
 ///        (40 Planet-Lab-like nodes, four concurrent writers of one file)
 ///        and helpers to print the series/rows each figure/table reports.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -103,6 +105,31 @@ inline void print_header(const std::string& title) {
   std::printf("\n================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================\n");
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock timing helpers shared by the perf benches (hotpath,
+// obs_overhead and parallel_scalability report wall time the same way).
+// ---------------------------------------------------------------------
+
+using WallClock = std::chrono::steady_clock;
+
+/// Seconds elapsed since `start`.
+inline double secs_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/// Milliseconds elapsed since `start`.
+inline double ms_since(WallClock::time_point start) {
+  return 1000.0 * secs_since(start);
+}
+
+/// Median of a sample set (upper median for even sizes — what the perf
+/// benches have always reported).  Takes a copy so callers keep their
+/// run order.
+inline double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values.empty() ? 0.0 : values[values.size() / 2];
 }
 
 }  // namespace idea::bench

@@ -57,12 +57,6 @@ constexpr double kBaselineBatchedTransportMsgs = 0.57e6;
 constexpr double kBaselineVvMerges = 3.32e6;
 constexpr double kBaselineMacroMsgsPerWallSec = 0.43e6;
 
-using WallClock = std::chrono::steady_clock;
-
-double secs_since(WallClock::time_point start) {
-  return std::chrono::duration<double>(WallClock::now() - start).count();
-}
-
 // ---------------------------------------------------------------------------
 // 1. Simulator kernel: schedule / cancel / periodic churn.
 // ---------------------------------------------------------------------------
@@ -322,7 +316,7 @@ MacroResult bench_macro(std::uint32_t endpoints, std::uint32_t files,
   }
   r.converged_pct =
       100.0 * static_cast<double>(converged) / static_cast<double>(sampled);
-  r.wall_ms = 1000.0 * secs_since(start);
+  r.wall_ms = ms_since(start);
   r.msgs_per_wall_sec =
       static_cast<double>(r.logical_messages) / (r.wall_ms / 1000.0);
   std::printf("macro: %u endpoints / %u files, %" PRIu64 " logical msgs "

@@ -33,8 +33,6 @@
 namespace idea::bench {
 namespace {
 
-using WallClock = std::chrono::steady_clock;
-
 enum class ObsMode { kOff, kMetrics, kFull };
 
 const char* mode_name(ObsMode mode) {
@@ -113,17 +111,15 @@ RunResult run_macro(ObsMode mode, std::uint32_t endpoints,
       }
     }
   }
-  r.wall_ms = 1000.0 * std::chrono::duration<double>(WallClock::now() - start)
-                           .count();
+  r.wall_ms = ms_since(start);
   return r;
 }
 
-double median_wall_ms(std::vector<RunResult>& runs) {
+double median_wall_ms(const std::vector<RunResult>& runs) {
   std::vector<double> walls;
   walls.reserve(runs.size());
   for (const RunResult& r : runs) walls.push_back(r.wall_ms);
-  std::sort(walls.begin(), walls.end());
-  return walls[walls.size() / 2];
+  return median(std::move(walls));
 }
 
 void write_json(const std::string& path, bool smoke, std::uint32_t endpoints,

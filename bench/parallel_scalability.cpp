@@ -1,0 +1,221 @@
+/// \file parallel_scalability.cpp
+/// \brief Multicore runtime scalability: the same fixed-seed ShardedFleet
+///        macro run swept across worker-thread counts.
+///
+/// Two things are on the clock:
+///
+///   1. Wall time per thread count — the speedup curve.  Meaningful only
+///      on a machine with real cores; the JSON records
+///      hardware_cores so a 1-core CI container's flat curve is not
+///      mistaken for a runtime regression.
+///   2. The determinism oracle — every thread count must produce the
+///      exact op digest, endpoint digests and message counts of the
+///      threads=1 run (the sequential oracle).  A mismatch fails the
+///      bench regardless of speed.
+///
+///   $ ./parallel_scalability [--smoke] [--json BENCH_parallel.json]
+///       [--endpoints 1000] [--files 4000] [--segments 8] [--sim-secs 5]
+///       [--threads 1,2,4,8] [--reps 1] [--seed 2007]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "runtime/fleet.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace idea::bench {
+namespace {
+
+struct SweepPoint {
+  std::uint32_t threads = 1;
+  double wall_s = 0.0;   ///< Median over reps.
+  double speedup = 1.0;  ///< vs the threads=1 median.
+  std::uint64_t op_digest = 0;
+  std::uint64_t endpoint_digest_xor = 0;
+  std::uint64_t wire_messages = 0;
+  std::uint64_t remote_ops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t conveyor_packets = 0;
+};
+
+struct MacroConfig {
+  std::uint32_t endpoints = 1000;
+  std::uint32_t files = 4000;
+  std::uint32_t segments = 8;
+  double sim_secs = 5.0;
+  std::uint64_t seed = 2007;
+};
+
+SweepPoint run_macro(const MacroConfig& mc, std::uint32_t threads,
+                     std::size_t reps) {
+  SweepPoint p;
+  p.threads = threads;
+  std::vector<double> walls;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    shard::ShardedClusterConfig cfg;
+    cfg.endpoints = mc.endpoints;
+    cfg.replication = 3;
+    cfg.seed = mc.seed;
+    cfg.idea.maxima = vv::TripleMaxima{100, 100, 100};
+    cfg.idea.detection_period = sec(2);
+    cfg.runtime.threads = threads;
+    cfg.runtime.segments = mc.segments;  // pinned across the sweep
+    cfg.sync_sizes();
+    runtime::ShardedFleet fleet(cfg);
+    fleet.place(1, mc.files);
+    runtime::FleetWorkloadParams wl;
+    wl.ops_per_endpoint_per_sec = 4.0;
+    wl.cross_segment_fraction = 0.25;
+    wl.duration = sec_f(mc.sim_secs);
+    fleet.set_workload(wl);
+
+    const auto start = WallClock::now();
+    fleet.run_for(sec_f(mc.sim_secs) + sec(5));
+    walls.push_back(secs_since(start));
+
+    const runtime::FleetStats s = fleet.stats();
+    p.op_digest = s.op_digest;
+    p.remote_ops = s.remote_ops;
+    p.steals = s.pool.steals;
+    p.conveyor_packets = s.conveyor.packets;
+    p.endpoint_digest_xor = 0;
+    for (const auto& [endpoint, digest] : fleet.endpoint_digests()) {
+      p.endpoint_digest_xor ^= mix64(digest + endpoint);
+    }
+    p.wire_messages = 0;
+    for (const auto& [type, count] : fleet.message_counts()) {
+      p.wire_messages += count;
+    }
+  }
+  p.wall_s = median(walls);
+  std::printf("threads %2u: %.3f s wall, op digest %016" PRIx64
+              ", %" PRIu64 " remote ops, %" PRIu64 " steals\n",
+              threads, p.wall_s, p.op_digest, p.remote_ops, p.steals);
+  return p;
+}
+
+void write_json(const std::string& path, bool smoke, const MacroConfig& mc,
+                const std::vector<SweepPoint>& sweep, bool digests_match) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"parallel_scalability\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"hardware_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"endpoints\": %u,\n", mc.endpoints);
+  std::fprintf(f, "    \"files\": %u,\n", mc.files);
+  std::fprintf(f, "    \"segments\": %u,\n", mc.segments);
+  std::fprintf(f, "    \"sim_secs\": %.1f,\n", mc.sim_secs);
+  std::fprintf(f, "    \"seed\": %" PRIu64 "\n", mc.seed);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(f, "    {\"threads\": %u, \"wall_s\": %.3f, ", p.threads,
+                 p.wall_s);
+    std::fprintf(f, "\"speedup_vs_1thread\": %.3f, ", p.speedup);
+    std::fprintf(f, "\"op_digest\": \"%016" PRIx64 "\", ", p.op_digest);
+    std::fprintf(f, "\"endpoint_digest_xor\": \"%016" PRIx64 "\", ",
+                 p.endpoint_digest_xor);
+    std::fprintf(f, "\"wire_messages\": %" PRIu64 ", ", p.wire_messages);
+    std::fprintf(f, "\"remote_ops\": %" PRIu64 ", ", p.remote_ops);
+    std::fprintf(f, "\"steals\": %" PRIu64 ", ", p.steals);
+    std::fprintf(f, "\"conveyor_packets\": %" PRIu64 "}%s\n",
+                 p.conveyor_packets, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"digests_match_across_threads\": %s,\n",
+               digests_match ? "true" : "false");
+  std::fprintf(f,
+               "  \"note\": \"speedup_vs_1thread reflects wall time only; "
+               "on a machine with fewer physical cores than threads the "
+               "workers time-share and the curve is flat.  The determinism "
+               "cross-check (identical digests at every thread count) holds "
+               "regardless of core count.\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<std::uint32_t> parse_threads(const std::string& spec) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      out.push_back(static_cast<std::uint32_t>(std::strtoul(
+          tok.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace idea::bench
+
+int main(int argc, char** argv) {
+  using namespace idea;
+  using namespace idea::bench;
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+
+  print_header("Parallel runtime scalability: fleet macro vs thread count");
+
+  MacroConfig mc;
+  mc.endpoints = static_cast<std::uint32_t>(
+      flags.get_int("endpoints", smoke ? 32 : 1000));
+  mc.files =
+      static_cast<std::uint32_t>(flags.get_int("files", smoke ? 120 : 4000));
+  mc.segments =
+      static_cast<std::uint32_t>(flags.get_int("segments", 8));
+  mc.sim_secs = flags.get_double("sim-secs", smoke ? 2.0 : 5.0);
+  mc.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2007));
+  const auto reps =
+      static_cast<std::size_t>(flags.get_int("reps", 1));
+  const std::vector<std::uint32_t> threads = parse_threads(
+      flags.get_string("threads", smoke ? "1,2" : "1,2,4,8"));
+
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(threads.size());
+  for (const std::uint32_t t : threads) {
+    sweep.push_back(run_macro(mc, t, reps));
+  }
+
+  bool digests_match = true;
+  for (const SweepPoint& p : sweep) {
+    if (p.op_digest != sweep.front().op_digest ||
+        p.endpoint_digest_xor != sweep.front().endpoint_digest_xor ||
+        p.wire_messages != sweep.front().wire_messages) {
+      digests_match = false;
+    }
+  }
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    sweep[i].speedup = sweep.front().wall_s / sweep[i].wall_s;
+  }
+
+  write_json(flags.get_string("json", "BENCH_parallel.json"), smoke, mc,
+             sweep, digests_match);
+
+  if (!digests_match) {
+    std::fprintf(stderr,
+                 "FAIL: results diverged across thread counts — the "
+                 "determinism oracle is broken\n");
+    return 1;
+  }
+  return 0;
+}

@@ -48,6 +48,7 @@ void SimTransport::send(Message msg) {
   }
   // Park the message in the slab; the delivery closure captures only the
   // slot index, so it fits std::function's inline storage.
+  IDEA_ASSERT_OWNED(owner_);
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -61,6 +62,7 @@ void SimTransport::send(Message msg) {
 }
 
 void SimTransport::deliver_slot(std::uint32_t slot) {
+  IDEA_ASSERT_OWNED(owner_);
   Message msg = std::move(in_flight_[slot]);
   in_flight_[slot] = Message{};
   free_slots_.push_back(slot);

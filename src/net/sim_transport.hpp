@@ -32,6 +32,7 @@
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/thread_owner.hpp"
 
 namespace idea::net {
 
@@ -120,6 +121,10 @@ class SimTransport final : public Transport {
   /// the construction-time skew stream of existing nodes.
   void ensure_node(NodeId node);
 
+  /// Hand the transport to another thread (debug-mode single-owner
+  /// checks on the in-flight message slab; see util/thread_owner.hpp).
+  void rebind_owner_thread() { owner_.rebind(); }
+
  private:
   static std::uint64_t pair_key(NodeId a, NodeId b) {
     const NodeId lo = a < b ? a : b;
@@ -147,6 +152,7 @@ class SimTransport final : public Transport {
   std::size_t skew_assigned_ = 0;
   std::vector<Message> in_flight_;         ///< Slab of scheduled messages.
   std::vector<std::uint32_t> free_slots_;
+  util::ThreadOwner owner_;  ///< Debug: slab confinement stamp.
   std::uint64_t dropped_ = 0;
 
   // Scripted fault state.  Few windows/pairs in practice, so a linear walk

@@ -1,0 +1,35 @@
+#include "runtime/parallel_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace idea::runtime {
+
+ParallelSimulator::ParallelSimulator(WorkerPool& pool,
+                                     std::vector<Partition*> partitions,
+                                     SimDuration epoch_length)
+    : pool_(pool),
+      partitions_(std::move(partitions)),
+      epoch_length_(epoch_length) {
+  assert(epoch_length_ > 0);
+}
+
+void ParallelSimulator::run_until(SimTime t) {
+  while (now_ < t) {
+    const SimTime start = now_;
+    const SimTime end = std::min(now_ + epoch_length_, t);
+    const std::uint64_t epoch = epoch_;
+    pool_.run_tasks(
+        static_cast<std::uint32_t>(partitions_.size()),
+        [this, start, end, epoch](std::uint32_t task, std::uint32_t) {
+          Partition* p = partitions_[task];
+          p->begin_epoch(start, epoch);
+          p->run_until(end);
+          p->end_epoch(end, epoch);
+        });
+    now_ = end;
+    ++epoch_;
+  }
+}
+
+}  // namespace idea::runtime

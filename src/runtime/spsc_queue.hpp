@@ -1,0 +1,90 @@
+#pragma once
+/// \file spsc_queue.hpp
+/// \brief Bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// The conveyor's cross-worker packet lanes are SPSC by construction: for
+/// a given (source segment, destination segment) lane, at most one thread
+/// runs the source's epoch task (producing packets) and at most one runs
+/// the destination's (consuming them), and the epoch barrier orders the
+/// hand-off.  A lock-free ring is all that is needed — the producer owns
+/// `tail_`, the consumer owns `head_`, and each publishes with a release
+/// store the other side acquires.
+///
+/// Capacity is fixed at construction (rounded up to a power of two).  A
+/// full ring rejects the push — the conveyor falls back to an overflow
+/// packet in that (rare) case rather than blocking an epoch task.
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace idea::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t min_capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Returns false when the ring is full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    ring_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop only if the head element satisfies `pred`.  Lets
+  /// the conveyor drain exactly the packets sealed in earlier epochs while
+  /// the producer may already be appending the current epoch's packets
+  /// behind them (FIFO order makes the predicate a prefix test).
+  template <typename Pred>
+  bool try_pop_if(Pred&& pred, T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    T& slot = ring_[head & mask_];
+    if (!pred(static_cast<const T&>(slot))) return false;
+    out = std::move(slot);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called from either endpoint's
+  /// thread between its own operations).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Consumer cursor.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Producer cursor.
+};
+
+}  // namespace idea::runtime

@@ -1,0 +1,133 @@
+#include "runtime/worker_pool.hpp"
+
+#include <cassert>
+
+namespace idea::runtime {
+
+WorkerPool::WorkerPool(std::uint32_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  deques_.reserve(threads_);
+  for (std::uint32_t w = 0; w < threads_; ++w) {
+    deques_.push_back(std::make_unique<WorkStealingDeque>(256));
+  }
+  spawned_.reserve(threads_ - 1);
+  for (std::uint32_t w = 1; w < threads_; ++w) {
+    spawned_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : spawned_) t.join();
+}
+
+void WorkerPool::run_tasks(std::uint32_t task_count, const TaskBody& body) {
+  ++stats_.batches;
+  stats_.tasks_run += task_count;
+  if (task_count == 0) return;
+
+  if (threads_ == 1) {
+    // Degenerate pool: the deterministic sequential schedule (ascending
+    // task order on the calling thread) — the oracle mode's execution.
+    for (std::uint32_t t = 0; t < task_count; ++t) body(t, 0);
+    return;
+  }
+
+  // Grow deques when a batch could overflow them.  All workers are parked
+  // and the pushes below happen-before they wake (via mu_), so replacing
+  // the deques here is race-free.
+  const std::size_t per_worker = task_count / threads_ + 2;
+  if (per_worker > deque_capacity_) {
+    deque_capacity_ = per_worker;
+    for (auto& d : deques_) {
+      d = std::make_unique<WorkStealingDeque>(deque_capacity_);
+    }
+  }
+
+  // Seed: task i goes to deque i % threads.  LIFO pops mean worker w runs
+  // its own tasks in descending order; cross-task order is unspecified by
+  // contract, so the distribution only matters for balance.
+  for (std::uint32_t t = 0; t < task_count; ++t) {
+    deques_[t % threads_]->push(t);
+  }
+
+  {
+    // Wait until every spawned worker is parked: always true between
+    // batches (the tail wait below), but freshly spawned workers may not
+    // have reached their first park yet.
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [this] { return parked_ == threads_ - 1; });
+    body_ = &body;
+    remaining_.store(static_cast<std::int64_t>(task_count),
+                     std::memory_order_release);
+    ++generation_;
+    parked_ = 0;
+  }
+  cv_start_.notify_all();
+
+  work(0);  // the caller is worker 0
+
+  // Wait for every spawned worker to park again: after this, no thread
+  // touches the deques or `body` until the next batch.
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return parked_ == threads_ - 1; });
+  body_ = nullptr;
+}
+
+void WorkerPool::worker_loop(std::uint32_t worker) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      ++parked_;
+      cv_done_.notify_one();
+      cv_start_.wait(lock, [this, seen_generation] {
+        return generation_ != seen_generation;
+      });
+      seen_generation = generation_;
+      if (shutdown_) return;
+    }
+    work(worker);
+  }
+}
+
+void WorkerPool::work(std::uint32_t worker) {
+  const TaskBody& body = *body_;
+  std::uint64_t steals = 0;
+  while (true) {
+    const std::uint32_t task = find_task(worker, &steals);
+    if (task == WorkStealingDeque::kEmpty) {
+      if (remaining_.load(std::memory_order_acquire) == 0) break;
+      std::this_thread::yield();  // tasks in flight elsewhere
+      continue;
+    }
+    body(task, worker);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (steals > 0) {
+    std::lock_guard lock(mu_);
+    stats_.steals += steals;
+  }
+}
+
+std::uint32_t WorkerPool::find_task(std::uint32_t worker,
+                                    std::uint64_t* steals) {
+  const std::uint32_t own = deques_[worker]->pop();
+  if (own != WorkStealingDeque::kEmpty) return own;
+  for (std::uint32_t i = 1; i < threads_; ++i) {
+    const std::uint32_t victim = (worker + i) % threads_;
+    const std::uint32_t stolen = deques_[victim]->steal();
+    if (stolen != WorkStealingDeque::kEmpty) {
+      ++*steals;
+      return stolen;
+    }
+  }
+  return WorkStealingDeque::kEmpty;
+}
+
+}  // namespace idea::runtime

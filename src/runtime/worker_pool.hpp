@@ -1,0 +1,84 @@
+#pragma once
+/// \file worker_pool.hpp
+/// \brief Fixed pool of worker threads with per-worker work-stealing
+///        deques, driven in barrier-synchronized batches.
+///
+/// The pool executes *batches*: run_tasks(N, body) distributes task ids
+/// 0..N-1 round-robin across the workers' deques, wakes every thread, and
+/// returns only when all N tasks ran and every worker parked again — a
+/// full barrier on both sides, so the caller may mutate shared state
+/// between batches without fences of its own.  Within a batch, a worker
+/// drains its own deque LIFO and steals FIFO from the others when dry, so
+/// unevenly sized tasks (hot segments) load-balance automatically.
+///
+/// The calling thread participates as worker 0; a pool built with
+/// `threads == 1` spawns nothing and runs every task inline in ascending
+/// order — the degenerate case is the deterministic sequential schedule
+/// the oracle mode relies on.
+///
+/// Tasks must be independent: the pool guarantees nothing about cross-task
+/// ordering within a batch beyond "all complete before run_tasks returns".
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/work_stealing.hpp"
+
+namespace idea::runtime {
+
+struct WorkerPoolStats {
+  std::uint64_t batches = 0;    ///< run_tasks calls.
+  std::uint64_t tasks_run = 0;  ///< Tasks executed across all batches.
+  std::uint64_t steals = 0;     ///< Tasks obtained from another deque.
+};
+
+class WorkerPool {
+ public:
+  /// Task body: (task id, executing worker id).
+  using TaskBody = std::function<void(std::uint32_t, std::uint32_t)>;
+
+  explicit WorkerPool(std::uint32_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::uint32_t threads() const { return threads_; }
+
+  /// Execute tasks 0..task_count-1, blocking until all completed and all
+  /// workers parked.  `body` may be invoked concurrently from different
+  /// threads for different tasks.
+  void run_tasks(std::uint32_t task_count, const TaskBody& body);
+
+  [[nodiscard]] const WorkerPoolStats& stats() const { return stats_; }
+
+ private:
+  void worker_loop(std::uint32_t worker);
+  /// Drain deques (own first, then steal) until the batch completes.
+  void work(std::uint32_t worker);
+  /// Own pop, then round-robin steal.  kEmpty when nothing is runnable.
+  std::uint32_t find_task(std::uint32_t worker, std::uint64_t* steals);
+
+  const std::uint32_t threads_;
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques_;
+  std::size_t deque_capacity_ = 256;  ///< Current per-deque capacity.
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;   ///< Bumped per batch (guarded by mu_).
+  const TaskBody* body_ = nullptr; ///< Current batch body (guarded by mu_).
+  std::uint32_t parked_ = 0;       ///< Spawned workers waiting (guarded).
+  bool shutdown_ = false;
+  std::atomic<std::int64_t> remaining_{0};  ///< Tasks not yet completed.
+
+  WorkerPoolStats stats_;
+  std::vector<std::thread> spawned_;  ///< Workers 1..threads_-1.
+};
+
+}  // namespace idea::runtime

@@ -38,6 +38,7 @@
 #include "obs/observability.hpp"
 #include "replica/checkpoint.hpp"
 #include "replica/hint_store.hpp"
+#include "runtime/options.hpp"
 #include "shard/group_transport.hpp"
 #include "shard/hash_ring.hpp"
 #include "shard/replica_sync.hpp"
@@ -86,6 +87,12 @@ struct ShardedClusterConfig {
   /// Off by default: no controller is constructed, routing is
   /// byte-identical to the pre-adaptive build, and existing goldens hold.
   adapt::ControllerConfig adapt;
+  /// Multicore execution (see runtime/options.hpp).  Consumed by
+  /// runtime::ShardedFleet, which splits `endpoints` across ring segments
+  /// and drives them on a worker pool; a ShardedCluster itself is always
+  /// single-threaded (`threads == 1`, the default, is the determinism
+  /// oracle the fleet is checked against).
+  runtime::RuntimeOptions runtime;
 
   ShardedClusterConfig() { sync_sizes(); }
 

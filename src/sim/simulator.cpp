@@ -72,6 +72,7 @@ void Simulator::EventHeap::rebalance() {
 }
 
 std::uint32_t Simulator::alloc_slot() {
+  IDEA_ASSERT_OWNED(owner_);
   if (free_head_ != kNoSlot) {
     const std::uint32_t index = free_head_;
     free_head_ = slots_[index].next_free;
@@ -83,6 +84,7 @@ std::uint32_t Simulator::alloc_slot() {
 }
 
 void Simulator::free_slot(std::uint32_t index) {
+  IDEA_ASSERT_OWNED(owner_);
   Slot& slot = slots_[index];
   slot.fn = nullptr;  // release captured state eagerly
   slot.period = 0;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_owner.hpp"
 #include "util/time.hpp"
 
 namespace idea::sim {
@@ -91,6 +92,11 @@ class Simulator {
   /// on the event counter keeps the cost off the per-event path and the
   /// samples identical across fixed-seed runs).
   void set_metrics(obs::Meter meter);
+
+  /// Hand the kernel to another thread (debug-mode single-owner checks:
+  /// the event-slot slab is thread-confined; the parallel runtime rebinds
+  /// at each epoch hand-off, which the pool barrier synchronizes).
+  void rebind_owner_thread() { owner_.rebind(); }
 
  private:
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
@@ -184,6 +190,7 @@ class Simulator {
   std::size_t live_ = 0;
   obs::Meter meter_;
   obs::MetricId queue_depth_metric_;
+  util::ThreadOwner owner_;  ///< Debug: slab confinement stamp.
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
   EventHeap queue_;

@@ -1,0 +1,83 @@
+#pragma once
+/// \file thread_owner.hpp
+/// \brief Debug-mode single-owner stamp for thread-confined structures.
+///
+/// The simulator's event-slot slab and the transport's in-flight message
+/// slab are single-threaded by design: in the parallel runtime, exactly
+/// one worker thread touches a segment's kernels per epoch, and segments
+/// migrate between workers only across pool barriers.  A violation of
+/// that confinement (a stray cross-thread send, a callback captured onto
+/// the wrong segment) corrupts a slab silently long before anything
+/// crashes.  ThreadOwner makes it fail fast instead: the first toucher
+/// after a rebind() claims the structure, every later touch asserts it is
+/// the same thread.
+///
+/// The checks compile away in release builds; sanitizer builds and Debug
+/// keep them (IDEA_OWNER_CHECKS — the TSan CI job runs with them on).
+/// Legitimate ownership hand-offs (the fleet handing a segment to the
+/// worker that won its epoch task) call rebind() at the hand-off point,
+/// which must itself be properly synchronized — the pool barrier is.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#if !defined(NDEBUG) && !defined(IDEA_OWNER_CHECKS)
+#define IDEA_OWNER_CHECKS 1
+#endif
+
+namespace idea::util {
+
+class ThreadOwner {
+ public:
+  /// Release ownership: the next toucher claims.  Call only at properly
+  /// synchronized hand-off points (e.g. a pool barrier).
+  void rebind() { owner_.store(0, std::memory_order_relaxed); }
+
+  /// Claim-or-check: true iff unclaimed (claims it) or already owned by
+  /// the calling thread.
+  bool owned_by_current() {
+    const std::size_t me =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+    std::size_t cur = owner_.load(std::memory_order_relaxed);
+    if (cur == me) return true;
+    if (cur == 0) {
+      // Two unsynchronized first-touchers racing here is itself the bug
+      // being hunted; either interleaving leaves one of them failing.
+      return owner_.compare_exchange_strong(cur, me,
+                                            std::memory_order_relaxed) ||
+             cur == me;
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<std::size_t> owner_{0};  ///< Hashed thread id; 0 = unclaimed.
+};
+
+[[noreturn]] inline void thread_owner_violation(const char* file, int line) {
+  std::fprintf(stderr,
+               "%s:%d: cross-thread access to a thread-confined slab "
+               "(missing rebind at a synchronized hand-off, or a stray "
+               "foreign call)\n",
+               file, line);
+  std::abort();
+}
+
+}  // namespace idea::util
+
+/// Assert the calling thread owns `owner` (claiming it if unclaimed).
+/// Compiled out unless IDEA_OWNER_CHECKS; aborts even under NDEBUG so
+/// sanitizer builds (RelWithDebInfo) keep the check armed.
+#ifdef IDEA_OWNER_CHECKS
+#define IDEA_ASSERT_OWNED(owner)                                     \
+  do {                                                               \
+    if (!(owner).owned_by_current()) {                               \
+      ::idea::util::thread_owner_violation(__FILE__, __LINE__);      \
+    }                                                                \
+  } while (0)
+#else
+#define IDEA_ASSERT_OWNED(owner) ((void)0)
+#endif
